@@ -1,0 +1,198 @@
+package ios_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (see DESIGN.md §3). Each benchmark regenerates
+// its experiment end to end — model construction, baseline scheduling, the
+// IOS dynamic program, and simulated measurement — so `go test -bench=.`
+// reproduces every reported result. The rendered rows/series are produced
+// by cmd/iosbench; here output goes to io.Discard and the benchmark value
+// is the wall time of regenerating the experiment.
+//
+// Benchmarks for the two search-heavy networks (RandWire, NasNet) run the
+// full configuration; expect a few tens of seconds each on one core.
+
+import (
+	"io"
+	"testing"
+
+	"ios"
+	"ios/internal/expt"
+	"ios/internal/gpusim"
+)
+
+// runExperiment benchmarks one experiment id under a config.
+func runExperiment(b *testing.B, id string, cfg expt.Config) {
+	b.Helper()
+	run, ok := expt.All[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fullCfg() expt.Config  { return expt.Config{Device: gpusim.TeslaV100, Batch: 1} }
+func quickCfg() expt.Config { return expt.Config{Device: gpusim.TeslaV100, Batch: 1, Quick: true} }
+
+// BenchmarkFig1Trend regenerates Figure 1 (FLOPs-per-conv vs peak trend).
+func BenchmarkFig1Trend(b *testing.B) { runExperiment(b, "fig1", fullCfg()) }
+
+// BenchmarkFig2Schedules regenerates Figure 2 (the running example's
+// sequential/greedy/IOS stage profiles).
+func BenchmarkFig2Schedules(b *testing.B) { runExperiment(b, "fig2", fullCfg()) }
+
+// BenchmarkTable1Complexity regenerates Table 1 (n, d, transition bound,
+// exact #(S,S'), #schedules for each network's hardest block).
+func BenchmarkTable1Complexity(b *testing.B) { runExperiment(b, "table1", fullCfg()) }
+
+// BenchmarkTable2Inventory regenerates Table 2 (benchmark inventory).
+func BenchmarkTable2Inventory(b *testing.B) { runExperiment(b, "table2", fullCfg()) }
+
+// BenchmarkFig6Schedules regenerates Figure 6 (five schedules across the
+// four CNNs on the V100) with the full networks.
+func BenchmarkFig6Schedules(b *testing.B) { runExperiment(b, "fig6", fullCfg()) }
+
+// BenchmarkFig6SchedulesQuick is the reduced-model variant for fast runs.
+func BenchmarkFig6SchedulesQuick(b *testing.B) { runExperiment(b, "fig6", quickCfg()) }
+
+// BenchmarkFig7Frameworks regenerates Figure 7 (cuDNN-based frameworks vs
+// IOS on the V100).
+func BenchmarkFig7Frameworks(b *testing.B) { runExperiment(b, "fig7", fullCfg()) }
+
+// BenchmarkFig8ActiveWarps regenerates Figure 8 (active-warp traces).
+func BenchmarkFig8ActiveWarps(b *testing.B) { runExperiment(b, "fig8", fullCfg()) }
+
+// BenchmarkFig9Pruning regenerates Figure 9 (latency vs optimization cost
+// across pruning settings r∈{1,2,3}, s∈{3,8}).
+func BenchmarkFig9Pruning(b *testing.B) { runExperiment(b, "fig9", fullCfg()) }
+
+// BenchmarkTable3Specialization regenerates Table 3 (batch-size and device
+// specialization matrices).
+func BenchmarkTable3Specialization(b *testing.B) { runExperiment(b, "table3", fullCfg()) }
+
+// BenchmarkFig10LastBlock regenerates Figure 10 (batch-1 vs batch-32
+// schedules of Inception V3's last block).
+func BenchmarkFig10LastBlock(b *testing.B) { runExperiment(b, "fig10", fullCfg()) }
+
+// BenchmarkFig11BatchSize regenerates Figure 11 (throughput across batch
+// sizes 1..128 on Inception V3).
+func BenchmarkFig11BatchSize(b *testing.B) { runExperiment(b, "fig11", fullCfg()) }
+
+// BenchmarkFig12IntraInter regenerates Figure 12 (TVM-AutoTune vs IOS and
+// optimization cost).
+func BenchmarkFig12IntraInter(b *testing.B) { runExperiment(b, "fig12", fullCfg()) }
+
+// BenchmarkFig14Schedules2080Ti regenerates Figure 14 (Figure 6 on the
+// RTX 2080Ti).
+func BenchmarkFig14Schedules2080Ti(b *testing.B) { runExperiment(b, "fig14", fullCfg()) }
+
+// BenchmarkFig15Frameworks2080Ti regenerates Figure 15 (Figure 7 on the
+// RTX 2080Ti).
+func BenchmarkFig15Frameworks2080Ti(b *testing.B) { runExperiment(b, "fig15", fullCfg()) }
+
+// BenchmarkFig16BlockWise regenerates Figure 16 (per-block Inception V3
+// speedups).
+func BenchmarkFig16BlockWise(b *testing.B) { runExperiment(b, "fig16", fullCfg()) }
+
+// BenchmarkResNetRemark regenerates the Section 5 ResNet remark (2-5%
+// speedup only).
+func BenchmarkResNetRemark(b *testing.B) { runExperiment(b, "resnet", fullCfg()) }
+
+// Extension and ablation benches (DESIGN.md's design-choice studies and
+// the paper's Section 7.4 future work).
+
+// BenchmarkExtCombo regenerates the IOS+AutoTune combination study.
+func BenchmarkExtCombo(b *testing.B) { runExperiment(b, "combo", quickCfg()) }
+
+// BenchmarkExtMemory regenerates the activation-memory-by-batch study.
+func BenchmarkExtMemory(b *testing.B) { runExperiment(b, "memory", fullCfg()) }
+
+// BenchmarkExtLightweight regenerates the mobile-CNN study.
+func BenchmarkExtLightweight(b *testing.B) { runExperiment(b, "lightweight", fullCfg()) }
+
+// BenchmarkAblationContention sweeps the contention coefficient.
+func BenchmarkAblationContention(b *testing.B) {
+	runExperiment(b, "ablation-contention", fullCfg())
+}
+
+// BenchmarkAblationDevices sweeps the device generation.
+func BenchmarkAblationDevices(b *testing.B) { runExperiment(b, "ablation-devices", fullCfg()) }
+
+// BenchmarkAblationSerialTail sweeps pruning with the serial-tail rule.
+func BenchmarkAblationSerialTail(b *testing.B) { runExperiment(b, "ablation-serial", fullCfg()) }
+
+// Component micro-benchmarks: the costs that determine the scheduler's
+// own performance (search time per network, stage measurement, width).
+
+// BenchmarkOptimizeInceptionV3 measures the full IOS search on Inception
+// V3 at batch one (the paper reports < 1 minute on real hardware; the
+// simulator substrate searches in tens of milliseconds).
+func BenchmarkOptimizeInceptionV3(b *testing.B) {
+	g := ios.InceptionV3(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ios.Optimize(g, ios.V100, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeSqueezeNet measures the IOS search on SqueezeNet.
+func BenchmarkOptimizeSqueezeNet(b *testing.B) {
+	g := ios.SqueezeNet(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ios.Optimize(g, ios.V100, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeRandWire measures the IOS search on RandWire (the
+// widest benchmark, d = 8; the paper reports < 90 minutes on hardware).
+func BenchmarkOptimizeRandWire(b *testing.B) {
+	g := ios.RandWire(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ios.Optimize(g, ios.V100, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeNasNet measures the IOS search on NasNet-A.
+func BenchmarkOptimizeNasNet(b *testing.B) {
+	g := ios.NasNetA(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ios.Optimize(g, ios.V100, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureSchedule measures the simulator cost of one end-to-end
+// schedule measurement (the unit of the paper's profiling step).
+func BenchmarkMeasureSchedule(b *testing.B) {
+	g := ios.InceptionV3(1)
+	s, err := ios.SequentialSchedule(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := ios.NewProfiler(ios.V100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prof.MeasureSchedule(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

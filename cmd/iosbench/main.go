@@ -1,0 +1,70 @@
+// Command iosbench regenerates the paper's tables and figures on the
+// simulated devices. Run with no arguments to execute every experiment,
+// or name specific ones:
+//
+//	iosbench                      # everything (slow: full networks)
+//	iosbench -exp fig6,fig7       # selected experiments
+//	iosbench -device 2080ti       # change the device where applicable
+//	iosbench -batch 32 -exp fig6  # change the batch size
+//	iosbench -quick               # reduced models (seconds, for smoke runs)
+//	iosbench -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ios/internal/expt"
+	"ios/internal/gpusim"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		deviceFlag = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
+		batchFlag  = flag.Int("batch", 1, "batch size where applicable")
+		quickFlag  = flag.Bool("quick", false, "use reduced models for a fast smoke run")
+		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
+		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
+		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, name := range expt.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	spec, ok := gpusim.SpecByName(*deviceFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iosbench: unknown device %q\n", *deviceFlag)
+		os.Exit(2)
+	}
+	cfg := expt.Config{Device: spec, Batch: *batchFlag, Quick: *quickFlag}
+	cfg.Opts.Pruning.R = *rFlag
+	cfg.Opts.Pruning.S = *sFlag
+
+	ids := expt.Names()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := expt.All[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iosbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("### %s ###\n", id)
+		if err := run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

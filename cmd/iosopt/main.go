@@ -1,0 +1,125 @@
+// Command iosopt optimizes a computation graph with IOS and emits the
+// schedule as JSON:
+//
+//	iosopt -graph model.json -device v100 -o schedule.json
+//	iosopt -model inception -batch 32        # optimize a zoo model
+//
+// The graph JSON format lists nodes in topological order; see
+// internal/graph/json.go and examples/custom_network for the schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ios/internal/baseline"
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/models"
+	"ios/internal/profile"
+)
+
+func main() {
+	var (
+		graphFlag  = flag.String("graph", "", "path to a graph JSON file")
+		modelFlag  = flag.String("model", "", "zoo model: inception, randwire, nasnet, squeezenet, resnet34, resnet50, vgg16")
+		batchFlag  = flag.Int("batch", 1, "batch size (zoo models)")
+		deviceFlag = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
+		outFlag    = flag.String("o", "", "output schedule path (default stdout)")
+		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
+		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
+		strategy   = flag.String("strategy", "both", "strategy set: both, parallel, merge")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFlag, *modelFlag, *batchFlag)
+	if err != nil {
+		fatal(err)
+	}
+	spec, ok := gpusim.SpecByName(*deviceFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown device %q", *deviceFlag))
+	}
+	opts := core.Options{Pruning: core.Pruning{R: *rFlag, S: *sFlag}}
+	switch *strategy {
+	case "both":
+		opts.Strategies = core.Both
+	case "parallel":
+		opts.Strategies = core.ParallelOnly
+	case "merge":
+		opts.Strategies = core.MergeOnly
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	prof := profile.New(spec)
+	res, err := core.Optimize(g, prof, opts)
+	if err != nil {
+		fatal(err)
+	}
+	iosLat, err := prof.MeasureSchedule(res.Schedule)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := baseline.Sequential(g)
+	if err != nil {
+		fatal(err)
+	}
+	seqLat, err := prof.MeasureSchedule(seq)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "iosopt: %s on %s: %d stages, %.3f ms (sequential %.3f ms, %.2fx); search %s, %d states, %d transitions\n",
+		g.Name, spec.Name, res.Schedule.NumStages(), 1e3*iosLat, 1e3*seqLat, seqLat/iosLat,
+		res.Stats.WallTime.Round(1e6), res.Stats.States, res.Stats.Transitions)
+
+	data, err := res.Schedule.MarshalJSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *outFlag == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func loadGraph(path, model string, batch int) (*graph.Graph, error) {
+	switch {
+	case path != "" && model != "":
+		return nil, fmt.Errorf("pass either -graph or -model, not both")
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FromJSON(data)
+	case model != "":
+		builders := map[string]models.Builder{
+			"inception":  models.InceptionV3,
+			"randwire":   models.RandWire,
+			"nasnet":     models.NasNetA,
+			"squeezenet": models.SqueezeNet,
+			"resnet34":   models.ResNet34,
+			"resnet50":   models.ResNet50,
+			"vgg16":      models.VGG16,
+		}
+		b, ok := builders[model]
+		if !ok {
+			return nil, fmt.Errorf("unknown model %q", model)
+		}
+		return b(batch), nil
+	default:
+		return nil, fmt.Errorf("pass -graph FILE or -model NAME")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iosopt:", err)
+	os.Exit(1)
+}

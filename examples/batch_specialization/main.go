@@ -1,0 +1,71 @@
+// Batch specialization: Section 7.2's study on the last block of Inception
+// V3. The schedule IOS finds for batch 1 maximizes concurrency; the batch
+// 32 schedule merges the 1x3/3x1 convolution pair and uses more stages.
+// Executing each schedule at the other batch size shows why the paper
+// specializes schedules per workload (Table 3).
+//
+//	go run ./examples/batch_specialization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ios"
+	"ios/internal/models"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+func main() {
+	batches := []int{1, 32}
+	scheds := map[int]*ios.Schedule{}
+	for _, b := range batches {
+		g := models.InceptionE(b)
+		res, err := ios.Optimize(g, ios.V100, ios.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheds[b] = res.Schedule
+		merges := 0
+		for _, st := range res.Schedule.Stages {
+			if st.Strategy == schedule.Merge {
+				merges++
+			}
+		}
+		fmt.Printf("optimized for batch %d: %d stages, %d merge stages\n",
+			b, res.Schedule.NumStages(), merges)
+		fmt.Print(res.Schedule)
+		fmt.Println()
+	}
+
+	fmt.Println("cross-execution latency (ms):")
+	fmt.Printf("%-18s %12s %12s\n", "execute \\ opt for", "batch 1", "batch 32")
+	for _, execB := range batches {
+		fmt.Printf("batch %-12d", execB)
+		for _, optB := range batches {
+			lat, err := rebatch(scheds[optB], execB)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.3f", lat*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(the diagonal should win: specialization matters)")
+}
+
+// rebatch transfers a schedule onto the same block at another batch size
+// by node name and measures it on the V100 model.
+func rebatch(s *ios.Schedule, batch int) (float64, error) {
+	g := models.InceptionE(batch)
+	data, err := s.MarshalJSON()
+	if err != nil {
+		return 0, err
+	}
+	moved, err := schedule.FromJSON(data, g)
+	if err != nil {
+		return 0, err
+	}
+	return profile.New(ios.V100).MeasureSchedule(moved)
+}

@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"testing"
+
+	"ios/internal/gpusim"
+	"ios/internal/models"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+func TestSequentialIsValidAndSerial(t *testing.T) {
+	g := models.Figure2Block(1)
+	s, err := Sequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range s.Stages {
+		if len(st.Groups) != 1 {
+			t.Errorf("sequential stage has %d groups", len(st.Groups))
+		}
+		if st.Strategy != schedule.Concurrent {
+			t.Error("sequential stage strategy wrong")
+		}
+	}
+}
+
+func TestPerOpSequential(t *testing.T) {
+	g := models.Figure2Block(1)
+	s, err := PerOpSequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.NumStages(), len(g.SchedulableNodes()); got != want {
+		t.Errorf("per-op stages = %d, want %d", got, want)
+	}
+	// Per-op sync makes it at least as slow as the stream form.
+	prof := profile.New(gpusim.TeslaV100)
+	perOp, err := prof.MeasureSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Sequential(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamLat, err := prof.MeasureSchedule(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perOp < streamLat {
+		t.Errorf("per-op sequential (%g) faster than stream sequential (%g)", perOp, streamLat)
+	}
+}
+
+func TestGreedyStageStructure(t *testing.T) {
+	g := models.Figure2Block(1)
+	s, err := Greedy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2's greedy: {a, c, d}, {b}, {concat}.
+	if s.NumStages() != 3 {
+		t.Fatalf("greedy stages = %d, want 3", s.NumStages())
+	}
+	if got := s.Stages[0].NumOps(); got != 3 {
+		t.Errorf("first greedy stage ops = %d, want 3", got)
+	}
+	for _, grp := range s.Stages[0].Groups {
+		if len(grp) != 1 {
+			t.Error("ready ops must be singleton groups")
+		}
+	}
+}
+
+func TestGreedyOnAllBenchmarks(t *testing.T) {
+	for _, b := range models.Benchmarks() {
+		g := b(1)
+		s, err := Greedy(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestSequentialOnAllBenchmarks(t *testing.T) {
+	for _, b := range models.Benchmarks() {
+		g := b(1)
+		s, err := Sequential(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package bitset provides a compact 64-bit set of operator indices.
+//
+// IOS optimizes one block of a computation graph at a time, and every block
+// in the paper's benchmarks has at most a few dozen operators, so a single
+// machine word is enough to represent any dynamic-programming state
+// (a subset of a block's operators). Using a word keeps the memoization
+// tables cheap: states are map keys with no allocation or hashing cost
+// beyond the integer itself.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxElems is the largest number of distinct elements a Set can hold.
+const MaxElems = 64
+
+// Set is a subset of {0, 1, ..., 63}. The zero value is the empty set.
+type Set uint64
+
+// Empty returns the empty set. It exists for readability at call sites.
+func Empty() Set { return 0 }
+
+// Full returns the set {0, ..., n-1}. It panics if n is out of range,
+// because a caller asking for more than 64 elements indicates a block that
+// should have been split further upstream.
+func Full(n int) Set {
+	if n < 0 || n > MaxElems {
+		panic(fmt.Sprintf("bitset: Full(%d) out of range [0,%d]", n, MaxElems))
+	}
+	if n == MaxElems {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Of builds a set from the given elements.
+func Of(elems ...int) Set {
+	var s Set
+	for _, e := range elems {
+		s = s.Add(e)
+	}
+	return s
+}
+
+// Add returns s ∪ {e}.
+func (s Set) Add(e int) Set {
+	checkElem(e)
+	return s | 1<<uint(e)
+}
+
+// Remove returns s ∖ {e}.
+func (s Set) Remove(e int) Set {
+	checkElem(e)
+	return s &^ (1 << uint(e))
+}
+
+// Has reports whether e ∈ s.
+func (s Set) Has(e int) bool {
+	checkElem(e)
+	return s&(1<<uint(e)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s ∖ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// IsEmpty reports whether s has no elements.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s Set) Intersects(t Set) bool { return s&t != 0 }
+
+// Min returns the smallest element of s. It panics on the empty set.
+func (s Set) Min() int {
+	if s == 0 {
+		panic("bitset: Min of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Elems returns the elements of s in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		e := bits.TrailingZeros64(uint64(t))
+		out = append(out, e)
+		t &^= 1 << uint(e)
+	}
+	return out
+}
+
+// ForEach calls fn for each element in increasing order. It stops early if
+// fn returns false.
+func (s Set) ForEach(fn func(e int) bool) {
+	for t := s; t != 0; {
+		e := bits.TrailingZeros64(uint64(t))
+		if !fn(e) {
+			return
+		}
+		t &^= 1 << uint(e)
+	}
+}
+
+// String renders the set as "{0, 3, 5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", e)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func checkElem(e int) {
+	if e < 0 || e >= MaxElems {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", e, MaxElems))
+	}
+}

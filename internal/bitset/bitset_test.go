@@ -1,0 +1,193 @@
+package bitset
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAndFull(t *testing.T) {
+	if !Empty().IsEmpty() {
+		t.Error("Empty() is not empty")
+	}
+	if got := Full(0); !got.IsEmpty() {
+		t.Errorf("Full(0) = %v, want empty", got)
+	}
+	if got := Full(5); got.Len() != 5 {
+		t.Errorf("Full(5).Len() = %d", got.Len())
+	}
+	if got := Full(64); got.Len() != 64 {
+		t.Errorf("Full(64).Len() = %d", got.Len())
+	}
+	for e := 0; e < 64; e++ {
+		if !Full(64).Has(e) {
+			t.Fatalf("Full(64) missing %d", e)
+		}
+	}
+}
+
+func TestFullPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Full(65) did not panic")
+		}
+	}()
+	Full(65)
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	s := Of(1, 5, 63)
+	for _, e := range []int{1, 5, 63} {
+		if !s.Has(e) {
+			t.Errorf("missing %d", e)
+		}
+	}
+	if s.Has(2) {
+		t.Error("unexpected 2")
+	}
+	s = s.Remove(5)
+	if s.Has(5) {
+		t.Error("5 not removed")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	// Removing an absent element is a no-op.
+	if s.Remove(40) != s {
+		t.Error("Remove(absent) changed the set")
+	}
+}
+
+func TestElemRangePanics(t *testing.T) {
+	for _, e := range []int{-1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", e)
+				}
+			}()
+			Empty().Add(e)
+		}()
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(0, 1, 2, 10)
+	b := Of(2, 3, 10, 40)
+	if got := a.Union(b); got != Of(0, 1, 2, 3, 10, 40) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != Of(2, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != Of(0, 1) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !Of(2, 10).SubsetOf(a) {
+		t.Error("SubsetOf failed")
+	}
+	if Of(2, 3).SubsetOf(a) {
+		t.Error("SubsetOf false positive")
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects failed")
+	}
+	if a.Intersects(Of(50)) {
+		t.Error("Intersects false positive")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := Of(9, 3, 44).Min(); got != 3 {
+		t.Errorf("Min = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty did not panic")
+		}
+	}()
+	Empty().Min()
+}
+
+func TestElemsAndForEach(t *testing.T) {
+	s := Of(7, 0, 21, 63)
+	want := []int{0, 7, 21, 63}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	var visited []int
+	s.ForEach(func(e int) bool {
+		visited = append(visited, e)
+		return true
+	})
+	if len(visited) != len(want) {
+		t.Fatalf("ForEach visited %v", visited)
+	}
+	// Early stop.
+	count := 0
+	s.ForEach(func(e int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("ForEach early stop visited %d", count)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(1, 3).String(); got != "{1, 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty().String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Len agrees with popcount, and algebra laws hold for arbitrary
+// words.
+func TestQuickAlgebraLaws(t *testing.T) {
+	err := quick.Check(func(x, y uint64) bool {
+		a, b := Set(x), Set(y)
+		if a.Len() != bits.OnesCount64(x) {
+			return false
+		}
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			return false
+		}
+		if a.Diff(b).Intersects(b) {
+			return false
+		}
+		if !a.Diff(b).SubsetOf(a) {
+			return false
+		}
+		// De Morgan on the 64-element universe.
+		u := ^Set(0)
+		if u.Diff(a.Union(b)) != u.Diff(a).Intersect(u.Diff(b)) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elems round-trips through Of.
+func TestQuickElemsRoundTrip(t *testing.T) {
+	err := quick.Check(func(x uint64) bool {
+		s := Set(x)
+		return Of(s.Elems()...) == s
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package chrometrace exports simulated schedule executions in the Chrome
+// Trace Event format (the "trace_events" JSON consumed by
+// chrome://tracing, Perfetto, and speedscope), so a schedule's stream
+// overlap can be inspected visually — the reproduction's analogue of
+// looking at an Nsight timeline.
+package chrometrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ios/internal/gpusim"
+)
+
+// event is one complete ("X" phase) trace event. Times are microseconds.
+type event struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TS       float64           `json:"ts"`
+	Dur      float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Write serializes a kernel timeline as a Chrome trace. Streams map to
+// trace threads, so concurrent groups appear as parallel rows. Launch
+// overhead is emitted as a separate "launch" slice preceding each kernel.
+func Write(w io.Writer, tl gpusim.Timeline, device string) error {
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	for _, s := range tl {
+		if s.Start > s.Launch {
+			tf.TraceEvents = append(tf.TraceEvents, event{
+				Name: s.Name + " (launch)", Category: "launch", Phase: "X",
+				TS: s.Launch * 1e6, Dur: (s.Start - s.Launch) * 1e6,
+				PID: 1, TID: s.Stream + 1,
+			})
+		}
+		tf.TraceEvents = append(tf.TraceEvents, event{
+			Name: s.Name, Category: "kernel", Phase: "X",
+			TS: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+			PID: 1, TID: s.Stream + 1,
+			Args: map[string]string{"device": device},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("chrometrace: %w", err)
+	}
+	return nil
+}

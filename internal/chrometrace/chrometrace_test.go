@@ -1,0 +1,70 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ios/internal/gpusim"
+)
+
+func TestWriteProducesValidTraceJSON(t *testing.T) {
+	tl := gpusim.Timeline{
+		{Name: "conv_a", Stream: 0, Launch: 0, Start: 4e-6, End: 100e-6},
+		{Name: "conv_b", Stream: 1, Launch: 0, Start: 4e-6, End: 90e-6},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tl, "Tesla V100"); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 2 kernels + 2 launch slices.
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(parsed.TraceEvents))
+	}
+	for _, e := range parsed.TraceEvents {
+		if e.Phase != "X" || e.Dur <= 0 {
+			t.Errorf("bad event %+v", e)
+		}
+	}
+	// Streams map to distinct tids.
+	tids := map[int]bool{}
+	for _, e := range parsed.TraceEvents {
+		tids[e.TID] = true
+	}
+	if len(tids) != 2 {
+		t.Errorf("tids = %v, want 2 distinct", tids)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("display unit = %q", parsed.DisplayTimeUnit)
+	}
+}
+
+func TestWriteSkipsZeroLaunch(t *testing.T) {
+	tl := gpusim.Timeline{{Name: "k", Stream: 0, Launch: 1e-6, Start: 1e-6, End: 2e-6}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tl, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TraceEvents) != 1 {
+		t.Errorf("events = %d, want 1 (no launch slice)", len(parsed.TraceEvents))
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+
+	"ios/internal/bitset"
+	"ios/internal/graph"
+)
+
+// Complexity quantities for Table 1: for a block with n operators and
+// width d, the paper reports the theoretical transition bound
+// C(n/d+2, 2)^d, the real number of transitions #(S, S'), and the total
+// number of feasible schedules.
+
+// Complexity summarizes the search space of one block.
+type Complexity struct {
+	// N is the number of operators in the block.
+	N int
+	// D is the block's width (largest antichain).
+	D int
+	// Bound is the theoretical upper bound C(n/d+2, 2)^d on transitions.
+	Bound float64
+	// Transitions is the exact number of (S, S') pairs the unpruned DP
+	// examines.
+	Transitions int64
+	// Schedules is the exact number of feasible stage partitions
+	// (counting stage sets, as the paper's #Schedules column does),
+	// reported as float64 because it overflows uint64 for RandWire.
+	Schedules float64
+}
+
+// AnalyzeBlock computes the Table 1 row for a block. It runs the same
+// ending enumeration as the DP but with pure counting (no measurements),
+// and without pruning.
+func AnalyzeBlock(b *graph.Block) Complexity {
+	n := len(b.Nodes)
+	c := Complexity{N: n, D: b.Width()}
+	if n == 0 {
+		return c
+	}
+	c.Bound = transitionBound(n, c.D)
+
+	schedules := make(map[bitset.Set]float64)
+	var countSchedules func(s bitset.Set) float64
+	countSchedules = func(s bitset.Set) float64 {
+		if s.IsEmpty() {
+			return 1
+		}
+		if v, ok := schedules[s]; ok {
+			return v
+		}
+		var total float64
+		forEachEnding(b, s, NoPruning, func(ending bitset.Set) bool {
+			c.Transitions++
+			total += countSchedules(s.Diff(ending))
+			return true
+		})
+		schedules[s] = total
+		return total
+	}
+	c.Schedules = countSchedules(b.All())
+	return c
+}
+
+// CountPruned walks the DP state space under a pruning strategy without
+// performing any measurements, returning the number of states and
+// transitions — the pure search-space size that Figure 9's optimization
+// cost tracks.
+func CountPruned(b *graph.Block, prune Pruning) (states int, transitions int64) {
+	if len(b.Nodes) == 0 {
+		return 0, 0
+	}
+	seen := make(map[bitset.Set]bool)
+	var visit func(s bitset.Set)
+	visit = func(s bitset.Set) {
+		if s.IsEmpty() || seen[s] {
+			return
+		}
+		seen[s] = true
+		states++
+		forEachEnding(b, s, prune, func(ending bitset.Set) bool {
+			transitions++
+			visit(s.Diff(ending))
+			return true
+		})
+	}
+	visit(b.All())
+	return states, transitions
+}
+
+// transitionBound evaluates C(n/d+2, 2)^d with the real-valued n/d the
+// paper uses.
+func transitionBound(n, d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	x := float64(n)/float64(d) + 2
+	perChain := x * (x - 1) / 2
+	return math.Pow(perChain, float64(d))
+}
+
+// AnalyzeLargestBlock partitions the graph and returns the Complexity of
+// its hardest block — the one with the largest theoretical transition
+// bound (ties broken by operator count) — as Table 1 lists per network.
+func AnalyzeLargestBlock(g *graph.Graph) (Complexity, error) {
+	blocks, err := g.Partition(0)
+	if err != nil {
+		return Complexity{}, err
+	}
+	var best *graph.Block
+	bestBound := -1.0
+	for _, b := range blocks {
+		bound := transitionBound(len(b.Nodes), b.Width())
+		if bound > bestBound || (bound == bestBound && best != nil && len(b.Nodes) > len(best.Nodes)) {
+			best, bestBound = b, bound
+		}
+	}
+	if best == nil {
+		return Complexity{}, nil
+	}
+	return AnalyzeBlock(best), nil
+}

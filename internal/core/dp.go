@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"ios/internal/bitset"
+	"ios/internal/graph"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+// Stats reports the cost of one optimization run — the quantities the
+// paper tracks for Table 1 and the Figure 9 search-cost axis.
+type Stats struct {
+	// Blocks is the number of blocks optimized.
+	Blocks int
+	// States is the number of distinct DP states (subsets S) visited.
+	States int
+	// Transitions is the number of (S, S') pairs examined — line 17 of
+	// Algorithm 1, the paper's #(S, S').
+	Transitions int
+	// Measurements is the number of simulator stage measurements
+	// performed (cache misses in the profiler).
+	Measurements int
+	// WallTime is the optimization time.
+	WallTime time.Duration
+}
+
+// Result bundles an optimized schedule with its search statistics.
+type Result struct {
+	Schedule *schedule.Schedule
+	Stats    Stats
+}
+
+// Optimize runs IOS over the whole graph: partitions it into blocks, finds
+// the optimal schedule for each block with the DP, and concatenates the
+// per-block stage lists.
+func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	m0 := prof.Measurements
+	blocks, err := g.Partition(opts.MaxBlockOps)
+	if err != nil {
+		return nil, err
+	}
+	sched := &schedule.Schedule{Graph: g}
+	stats := Stats{Blocks: len(blocks)}
+
+	// Blocks are independent subproblems; search them in parallel on
+	// forked profilers (same device model, separate caches). Results are
+	// deterministic regardless of interleaving.
+	type blockOut struct {
+		stages []schedule.Stage
+		stats  Stats
+		meas   int
+		err    error
+	}
+	outs := make([]blockOut, len(blocks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, b := range blocks {
+		wg.Add(1)
+		go func(i int, b *graph.Block) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bp := prof.Fork()
+			stages, bstats, err := OptimizeBlock(b, bp, opts)
+			outs[i] = blockOut{stages: stages, stats: bstats, meas: bp.Measurements, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("core: block %d: %w", blocks[i].Index, out.err)
+		}
+		sched.Stages = append(sched.Stages, out.stages...)
+		stats.States += out.stats.States
+		stats.Transitions += out.stats.Transitions
+		stats.Measurements += out.meas
+	}
+	stats.Measurements += prof.Measurements - m0
+	stats.WallTime = time.Since(start)
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("core: produced invalid schedule: %w", err)
+	}
+	return &Result{Schedule: sched, Stats: stats}, nil
+}
+
+// choice records the last stage of the optimal schedule of a state
+// (Algorithm 1's choice[S]).
+type choice struct {
+	ending   bitset.Set
+	strategy schedule.Strategy
+	// serial marks the serial-tail candidate: the whole ending executes
+	// as one group on a single stream (see scheduler).
+	serial bool
+}
+
+// stageResult memoizes GENERATESTAGE per ending within a block, keyed by
+// the ending bitmask — far cheaper than the profiler's name-keyed cache on
+// the DP's hot path (the same ending is examined from many states).
+type stageResult struct {
+	lat      float64
+	strategy schedule.Strategy
+	ok       bool
+}
+
+// blockScheduler carries the DP state for one block.
+type blockScheduler struct {
+	b      *graph.Block
+	prof   *profile.Profiler
+	opts   Options
+	cost   map[bitset.Set]float64
+	last   map[bitset.Set]choice
+	stages map[bitset.Set]stageResult
+	stats  Stats
+}
+
+// OptimizeBlock runs the dynamic program on a single block and returns its
+// stage list. Exposed for experiments that study one block (Table 1,
+// Figure 9, Figure 10).
+func OptimizeBlock(b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
+	opts = opts.withDefaults()
+	bs := &blockScheduler{
+		b: b, prof: prof, opts: opts,
+		cost:   make(map[bitset.Set]float64),
+		last:   make(map[bitset.Set]choice),
+		stages: make(map[bitset.Set]stageResult),
+	}
+	all := b.All()
+	if all.IsEmpty() {
+		return nil, bs.stats, nil
+	}
+	if _, err := bs.scheduler(all); err != nil {
+		return nil, bs.stats, err
+	}
+	// Schedule construction (Algorithm 1 L6-11): walk choice[] backwards
+	// from the full set, prepending stages.
+	var rev []schedule.Stage
+	for s := all; !s.IsEmpty(); {
+		c, ok := bs.last[s]
+		if !ok {
+			return nil, bs.stats, fmt.Errorf("no feasible schedule for state %v (over-restrictive strategy set?)", s)
+		}
+		rev = append(rev, bs.buildStage(c))
+		s = s.Diff(c.ending)
+	}
+	stages := make([]schedule.Stage, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		stages = append(stages, rev[i])
+	}
+	return stages, bs.stats, nil
+}
+
+// scheduler is Algorithm 1's SCHEDULER: the memoized recursion
+// cost[S] = min over endings S' of cost[S−S'] + stage_latency[S'].
+func (bs *blockScheduler) scheduler(s bitset.Set) (float64, error) {
+	if s.IsEmpty() {
+		return 0, nil
+	}
+	if v, ok := bs.cost[s]; ok {
+		return v, nil
+	}
+	bs.stats.States++
+	best := math.Inf(1)
+	var bestChoice choice
+	var firstErr error
+
+	// Serial-tail candidate: close the whole remaining suffix as one
+	// stage whose single group runs every operator back-to-back on one
+	// stream. The pruning strategy caps the size of *parallel* groups
+	// (Section 4.3); a pure serial chain involves no inter-operator
+	// parallelism, so admitting it at any length only restores schedules
+	// the unpruned space already contains (in particular, the stream-
+	// sequential schedule, which IOS must never lose to).
+	bs.stats.Transitions++
+	if lat := bs.prof.MeasureSerialChain(bs.nodesOf(s)); lat < best {
+		best = lat
+		bestChoice = choice{ending: s, strategy: schedule.Concurrent, serial: true}
+	}
+
+	forEachEnding(bs.b, s, bs.opts.Pruning, func(ending bitset.Set) bool {
+		bs.stats.Transitions++
+		lat, strat, ok, err := bs.generateStage(ending)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if !ok {
+			return true // infeasible under the strategy restriction
+		}
+		sub, err := bs.scheduler(s.Diff(ending))
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if total := sub + lat; total < best {
+			best = total
+			bestChoice = choice{ending: ending, strategy: strat}
+		}
+		return true
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if !math.IsInf(best, 1) {
+		bs.cost[s] = best
+		bs.last[s] = bestChoice
+	}
+	return best, nil
+}
+
+// generateStage is Algorithm 1's GENERATESTAGE: choose the better
+// parallelization strategy for the candidate stage and return its
+// measured latency. ok=false means the stage is infeasible under the
+// configured StrategySet (e.g. MergeOnly with unmergeable multi-op sets).
+func (bs *blockScheduler) generateStage(ending bitset.Set) (lat float64, strat schedule.Strategy, ok bool, err error) {
+	if r, hit := bs.stages[ending]; hit {
+		return r.lat, r.strategy, r.ok, nil
+	}
+	defer func() {
+		if err == nil {
+			bs.stages[ending] = stageResult{lat: lat, strategy: strat, ok: ok}
+		}
+	}()
+	nodes := bs.nodesOf(ending)
+	groups := bs.groupNodes(ending)
+
+	// Under MergeOnly (the paper's IOS-Merge variant) stages may not use
+	// inter-operator parallelism: a concurrent stage is admissible only
+	// when it degenerates to a single sequential chain, which makes the
+	// variant coincide with the sequential schedule on networks without
+	// merge opportunities (Section 6.1's RandWire/NasNet observation).
+	concurrentAllowed := bs.opts.Strategies != MergeOnly || len(groups) == 1
+	mergeAllowed := bs.opts.Strategies != ParallelOnly && profile.CanMerge(nodes)
+
+	lConc, lMerge := math.Inf(1), math.Inf(1)
+	if concurrentAllowed {
+		st := schedule.Stage{Strategy: schedule.Concurrent, Groups: groups}
+		lConc, err = bs.prof.MeasureStageUncached(st)
+		if err != nil {
+			return 0, 0, false, err
+		}
+	}
+	if mergeAllowed {
+		st := schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{nodes}}
+		lMerge, err = bs.prof.MeasureStageUncached(st)
+		if err != nil {
+			return 0, 0, false, err
+		}
+	}
+	switch {
+	case math.IsInf(lConc, 1) && math.IsInf(lMerge, 1):
+		return 0, 0, false, nil
+	case lConc <= lMerge:
+		return lConc, schedule.Concurrent, true, nil
+	default:
+		return lMerge, schedule.Merge, true, nil
+	}
+}
+
+// buildStage materializes a schedule stage from a DP choice.
+func (bs *blockScheduler) buildStage(c choice) schedule.Stage {
+	switch {
+	case c.serial:
+		return bs.serialStage(c.ending)
+	case c.strategy == schedule.Merge:
+		return schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{bs.nodesOf(c.ending)}}
+	default:
+		return schedule.Stage{Strategy: schedule.Concurrent, Groups: bs.groupNodes(c.ending)}
+	}
+}
+
+// serialStage wraps an operator set as one single-group concurrent stage:
+// every operator issues back-to-back on one stream in topological order.
+func (bs *blockScheduler) serialStage(s bitset.Set) schedule.Stage {
+	return schedule.Stage{Strategy: schedule.Concurrent, Groups: [][]*graph.Node{bs.nodesOf(s)}}
+}
+
+// nodesOf converts a block-local bitset to nodes in topological order.
+func (bs *blockScheduler) nodesOf(s bitset.Set) []*graph.Node {
+	nodes := make([]*graph.Node, 0, s.Len())
+	s.ForEach(func(e int) bool {
+		nodes = append(nodes, bs.b.Nodes[e])
+		return true
+	})
+	return nodes
+}
+
+// groupNodes converts an ending to its connected-component groups of
+// nodes.
+func (bs *blockScheduler) groupNodes(ending bitset.Set) [][]*graph.Node {
+	sets := groupsOf(bs.b, ending)
+	groups := make([][]*graph.Node, len(sets))
+	for i, gs := range sets {
+		groups[i] = bs.nodesOf(gs)
+	}
+	return groups
+}

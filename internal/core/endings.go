@@ -1,0 +1,108 @@
+package core
+
+import (
+	"ios/internal/bitset"
+	"ios/internal/graph"
+)
+
+// Ending enumeration (Section 4.1, Figure 4). An ending S' of operator set
+// S is a non-empty subset such that every edge between S−S' and S' starts
+// in S−S': equivalently, S' is closed under successors within S. The last
+// stage of any schedule of S must be an ending of S.
+//
+// We enumerate endings by deciding membership for the operators of S in
+// reverse topological order. Because an operator's successors come later
+// in topological order, they are decided before it, so the closure
+// constraint ("include u only if all of u's successors in S are included")
+// is checkable locally, and every ending is produced exactly once.
+//
+// The recursion tracks the ending's group structure (connected components
+// under intra-block edges) incrementally: including an operator merges it
+// with every adjacent component. Components only grow as operators are
+// added, so a component exceeding the pruning bound r prunes the whole
+// subtree; the group-count bound s is checked at emission (components can
+// still merge later, so it cannot prune subtrees soundly).
+
+// forEachEnding invokes fn for every ending S' of S that satisfies the
+// pruning strategy P(S, S') of Section 4.3. fn returning false stops the
+// enumeration.
+func forEachEnding(b *graph.Block, s bitset.Set, prune Pruning, fn func(ending bitset.Set) bool) {
+	elems := s.Elems() // ascending = topological order within the block
+	maxOps := prune.maxStageOps()
+	cont := true
+	// comps holds the connected components of the current candidate.
+	// It is copied on modification so sibling branches stay independent;
+	// candidates are small (≤ maxOps), so copies are cheap.
+	var rec func(k int, cur bitset.Set, comps []bitset.Set)
+	rec = func(k int, cur bitset.Set, comps []bitset.Set) {
+		if !cont {
+			return
+		}
+		if k < 0 {
+			if !cur.IsEmpty() && (prune.S <= 0 || len(comps) <= prune.S) {
+				cont = fn(cur)
+			}
+			return
+		}
+		e := elems[k]
+		// Exclude e.
+		rec(k-1, cur, comps)
+		if !cont {
+			return
+		}
+		// Include e: allowed iff all successors of e within S are
+		// already included (reverse-topological processing guarantees
+		// they have been decided).
+		if cur.Len() >= maxOps || !b.Succs(e).Intersect(s).SubsetOf(cur) {
+			return
+		}
+		// Merge e with adjacent components.
+		nbrs := b.Succs(e).Union(b.Preds(e))
+		merged := bitset.Of(e)
+		next := make([]bitset.Set, 0, len(comps)+1)
+		for _, c := range comps {
+			if c.Intersects(nbrs) {
+				merged = merged.Union(c)
+			} else {
+				next = append(next, c)
+			}
+		}
+		if prune.R > 0 && merged.Len() > prune.R {
+			// The component can only grow further down this subtree;
+			// prune it entirely.
+			return
+		}
+		next = append(next, merged)
+		rec(k-1, cur.Add(e), next)
+	}
+	rec(len(elems)-1, bitset.Empty(), nil)
+}
+
+// groupsOf splits an ending into its connected-component groups, each as a
+// bitset, ordered by smallest element.
+func groupsOf(b *graph.Block, ending bitset.Set) []bitset.Set {
+	assigned := bitset.Empty()
+	var groups []bitset.Set
+	ending.ForEach(func(e int) bool {
+		if assigned.Has(e) {
+			return true
+		}
+		// BFS over intra-ending edges in both directions.
+		comp := bitset.Of(e)
+		frontier := bitset.Of(e)
+		for !frontier.IsEmpty() {
+			next := bitset.Empty()
+			frontier.ForEach(func(x int) bool {
+				nbrs := b.Succs(x).Union(b.Preds(x)).Intersect(ending).Diff(comp)
+				next = next.Union(nbrs)
+				return true
+			})
+			comp = comp.Union(next)
+			frontier = next
+		}
+		assigned = assigned.Union(comp)
+		groups = append(groups, comp)
+		return true
+	})
+	return groups
+}

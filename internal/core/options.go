@@ -1,0 +1,108 @@
+// Package core implements the Inter-Operator Scheduler — the paper's
+// primary contribution (Algorithm 1). It finds, per block of a computation
+// graph, the latency-optimal partition into stages by dynamic programming
+// over "endings": for operator set S, cost[S] = min over endings S' of S of
+// cost[S−S'] + stage_latency[S'], where an ending is a subset with no edge
+// leaving it into the remainder (Section 4.1). stage_latency is obtained by
+// direct measurement on the execution substrate via internal/profile, and
+// GENERATESTAGE picks the cheaper of the two parallelization strategies
+// ("concurrent execution" vs "operator merge") for each candidate stage.
+package core
+
+import "fmt"
+
+// StrategySet selects which parallelization strategies GENERATESTAGE may
+// use, matching the paper's IOS-Parallel / IOS-Merge / IOS-Both variants
+// (Section 6.1).
+type StrategySet int
+
+const (
+	// Both considers concurrent execution and operator merge (IOS-Both,
+	// the default "IOS" in the paper).
+	Both StrategySet = iota
+	// ParallelOnly considers only concurrent execution (IOS-Parallel).
+	ParallelOnly
+	// MergeOnly considers only operator merge (IOS-Merge). Stages that
+	// cannot merge are restricted to a single operator, which degenerates
+	// to the sequential schedule when no merge opportunities exist —
+	// exactly the paper's observation on RandWire/NasNet.
+	MergeOnly
+)
+
+// String names the strategy set like the paper's figure legends.
+func (s StrategySet) String() string {
+	switch s {
+	case ParallelOnly:
+		return "IOS-Parallel"
+	case MergeOnly:
+		return "IOS-Merge"
+	default:
+		return "IOS-Both"
+	}
+}
+
+// Pruning is the schedule-pruning strategy P of Section 4.3: an ending S'
+// satisfies P iff it has at most S groups and each group has at most R
+// operators. The paper's default is r=3, s=8.
+type Pruning struct {
+	// R bounds operators per group (0 = unbounded).
+	R int
+	// S bounds groups per stage (0 = unbounded).
+	S int
+}
+
+// DefaultPruning is the paper's evaluation setting (r = 3, s = 8).
+var DefaultPruning = Pruning{R: 3, S: 8}
+
+// NoPruning explores the full schedule space.
+var NoPruning = Pruning{}
+
+// String renders "r=3,s=8" or "none".
+func (p Pruning) String() string {
+	if p.R == 0 && p.S == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("r=%d,s=%d", p.R, p.S)
+}
+
+// maxStageOps returns the largest stage size admissible under the pruning,
+// used to cut the ending enumeration early.
+func (p Pruning) maxStageOps() int {
+	if p.R == 0 || p.S == 0 {
+		return 1 << 30
+	}
+	return p.R * p.S
+}
+
+// Options configures Optimize.
+type Options struct {
+	// Strategies selects the IOS variant (default Both).
+	Strategies StrategySet
+	// Pruning bounds the ending enumeration (default r=3, s=8; use
+	// NoPruning for the exhaustive search).
+	Pruning Pruning
+	// MaxBlockOps caps the block partition size (0 = bitset limit).
+	MaxBlockOps int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Pruning == (Pruning{}) {
+		// Zero-value Options means "paper defaults"; explicit NoPruning
+		// is requested via Options{Pruning: NoPruning} which is the same
+		// zero struct — so we distinguish by convention: callers wanting
+		// no pruning set R and S to -1.
+		o.Pruning = DefaultPruning
+	}
+	if o.Pruning.R < 0 {
+		o.Pruning.R = 0
+	}
+	if o.Pruning.S < 0 {
+		o.Pruning.S = 0
+	}
+	return o
+}
+
+// Unpruned is the Options value for an exhaustive search: negative bounds
+// normalize to "unbounded" (see withDefaults).
+var Unpruned = Options{Pruning: Pruning{R: -1, S: -1}}

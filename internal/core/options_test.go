@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"ios/internal/graph"
+)
+
+// graphNew builds a graph with only an input node.
+func graphNew() *graph.Graph {
+	g := graph.New("empty")
+	g.Input("in", graph.Shape{N: 1, C: 3, H: 8, W: 8})
+	return g
+}
+
+func TestStrategySetString(t *testing.T) {
+	if Both.String() != "IOS-Both" || ParallelOnly.String() != "IOS-Parallel" || MergeOnly.String() != "IOS-Merge" {
+		t.Error("strategy set names changed")
+	}
+}
+
+func TestPruningString(t *testing.T) {
+	if DefaultPruning.String() != "r=3,s=8" {
+		t.Errorf("default pruning string = %q", DefaultPruning.String())
+	}
+	if NoPruning.String() != "none" {
+		t.Errorf("no-pruning string = %q", NoPruning.String())
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	// Zero options take the paper defaults.
+	o := Options{}.withDefaults()
+	if o.Pruning != DefaultPruning {
+		t.Errorf("zero options pruning = %v", o.Pruning)
+	}
+	// Unpruned normalizes negative bounds to unbounded.
+	u := Unpruned.withDefaults()
+	if u.Pruning.R != 0 || u.Pruning.S != 0 {
+		t.Errorf("unpruned normalized to %v", u.Pruning)
+	}
+	// Explicit pruning is preserved.
+	p := Options{Pruning: Pruning{R: 2, S: 5}}.withDefaults()
+	if p.Pruning != (Pruning{R: 2, S: 5}) {
+		t.Errorf("explicit pruning lost: %v", p.Pruning)
+	}
+}
+
+func TestMaxStageOps(t *testing.T) {
+	if got := DefaultPruning.maxStageOps(); got != 24 {
+		t.Errorf("maxStageOps = %d, want 24", got)
+	}
+	if got := NoPruning.maxStageOps(); got < 1<<20 {
+		t.Errorf("unbounded maxStageOps = %d", got)
+	}
+	if got := (Pruning{R: 2}).maxStageOps(); got < 1<<20 {
+		t.Errorf("partial pruning should be unbounded on stage size, got %d", got)
+	}
+}
+
+func TestOptimizeEmptyGraph(t *testing.T) {
+	g := graphNew()
+	res, err := Optimize(g, v100Profiler(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumStages() != 0 {
+		t.Errorf("empty graph produced %d stages", res.Schedule.NumStages())
+	}
+}

@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ios/internal/gpusim"
+)
+
+// quickCfg uses the reduced model set so every experiment finishes fast.
+func quickCfg() Config {
+	return Config{Device: gpusim.TeslaV100, Batch: 1, Quick: true}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := All[name]; !ok {
+			t.Errorf("experiment %q in Names but not in All", name)
+		}
+	}
+	if len(Names()) != len(All) {
+		t.Errorf("Names lists %d experiments, All has %d", len(Names()), len(All))
+	}
+}
+
+// runExpt executes one experiment into a buffer.
+func runExpt(t *testing.T, name string, cfg Config) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := All[name](cfg, &buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	return out
+}
+
+func TestFig1(t *testing.T) {
+	out := runExpt(t, "fig1", quickCfg())
+	for _, want := range []string{"VGG-16", "Inception V3", "NasNet", "GTX 980Ti", "Tesla V100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 missing %q", want)
+		}
+	}
+}
+
+func TestFig2StageProfiles(t *testing.T) {
+	out := runExpt(t, "fig2", quickCfg())
+	for _, want := range []string{"Sequential", "Greedy", "IOS", "GFLOPs", "util"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 missing %q", want)
+		}
+	}
+}
+
+func TestFig8WarpRatio(t *testing.T) {
+	out := runExpt(t, "fig8", quickCfg())
+	if !strings.Contains(out, "active warps") || !strings.Contains(out, "paper: 1.58x") {
+		t.Errorf("fig8 output unexpected:\n%s", out)
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	out := runExpt(t, "table2", Config{Device: gpusim.TeslaV100, Batch: 1})
+	for _, want := range []string{"Inception V3", "RandWire", "NasNet", "SqueezeNet", "Conv-Relu", "Relu-SepConv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestQuickScheduleComparison(t *testing.T) {
+	out := runExpt(t, "fig6", quickCfg())
+	for _, want := range SchedulePolicies {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 missing series %q", want)
+		}
+	}
+	if !strings.Contains(out, "GeoMean") {
+		t.Error("fig6 missing GeoMean group")
+	}
+}
+
+func TestQuickFrameworkComparison(t *testing.T) {
+	out := runExpt(t, "fig7", quickCfg())
+	for _, want := range []string{"Tensorflow", "TASO", "TensorRT", "IOS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q", want)
+		}
+	}
+}
+
+func TestQuickFig9Pruning(t *testing.T) {
+	out := runExpt(t, "fig9", quickCfg())
+	for _, want := range []string{"r=3,s=8", "r=1,s=3", "latency ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig9 missing %q", want)
+		}
+	}
+}
+
+func TestQuickTable3Specialization(t *testing.T) {
+	out := runExpt(t, "table3", quickCfg())
+	if !strings.Contains(out, "batch-size specialization") || !strings.Contains(out, "device specialization") {
+		t.Errorf("table3 output unexpected:\n%s", out)
+	}
+}
+
+func TestQuickFig10(t *testing.T) {
+	out := runExpt(t, "fig10", quickCfg())
+	if !strings.Contains(out, "optimized for batch 1") || !strings.Contains(out, "optimized for batch 32") {
+		t.Errorf("fig10 output unexpected")
+	}
+}
+
+func TestQuickFig12(t *testing.T) {
+	out := runExpt(t, "fig12", quickCfg())
+	if !strings.Contains(out, "TVM-AutoTune") || !strings.Contains(out, "GPU hours") {
+		t.Errorf("fig12 output unexpected")
+	}
+}
+
+func TestQuickTable1(t *testing.T) {
+	out := runExpt(t, "table1", quickCfg())
+	if !strings.Contains(out, "#(S,S')") || !strings.Contains(out, "#schedules") {
+		t.Errorf("table1 output unexpected")
+	}
+}
+
+func TestQuickCombo(t *testing.T) {
+	out := runExpt(t, "combo", quickCfg())
+	if !strings.Contains(out, "IOS+AutoTune") {
+		t.Errorf("combo output unexpected")
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	out := runExpt(t, "ablation-contention", quickCfg())
+	if !strings.Contains(out, "contention") || !strings.Contains(out, "speedup") {
+		t.Errorf("ablation output unexpected")
+	}
+}
+
+func TestAblationSerialTail(t *testing.T) {
+	out := runExpt(t, "ablation-serial", quickCfg())
+	if !strings.Contains(out, "r=1,s=8") {
+		t.Errorf("serial ablation output unexpected")
+	}
+}
+
+func TestQuickLightweight(t *testing.T) {
+	out := runExpt(t, "lightweight", quickCfg())
+	for _, want := range []string{"MobileNetV2", "ShuffleNet", "ios speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lightweight missing %q", want)
+		}
+	}
+}
+
+func TestLatencyOfUnknownPolicy(t *testing.T) {
+	c := quickCfg().withDefaults()
+	g := benchmarksFirst(c)
+	if _, _, err := c.latencyOf(g, "nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

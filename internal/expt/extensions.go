@@ -1,0 +1,256 @@
+package expt
+
+// Extension experiments beyond the paper's figures: the future-work
+// combination the authors propose in Section 7.4 (intra-operator autotuned
+// kernels + inter-operator IOS scheduling), an activation-memory study
+// that grounds Figure 11's TASO out-of-memory note, and ablations of the
+// device-model knobs DESIGN.md calls out (contention, device generation).
+
+import (
+	"fmt"
+	"io"
+
+	"ios/internal/baseline"
+	"ios/internal/core"
+	"ios/internal/frameworks"
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/models"
+	"ios/internal/profile"
+	"ios/internal/report"
+	"ios/internal/schedule"
+)
+
+func init() {
+	All["combo"] = Combo
+	All["memory"] = MemoryStudy
+	All["ablation-contention"] = AblationContention
+	All["ablation-devices"] = AblationDevices
+	All["ablation-serial"] = AblationSerialTail
+	All["lightweight"] = Lightweight
+}
+
+// ExtensionNames lists the extension experiment ids.
+func ExtensionNames() []string {
+	return []string{"combo", "memory", "lightweight", "ablation-contention", "ablation-devices", "ablation-serial"}
+}
+
+// Combo evaluates the paper's stated future work: "the combination of TVM
+// and IOS would boost the performance further" — IOS scheduling on top of
+// autotuned kernels, against each alone.
+func Combo(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	names, graphs := c.benchmarks()
+	chart := report.NewBarChart(
+		fmt.Sprintf("Extension: TVM-AutoTune vs IOS vs combined on %s, batch %d", c.Device.Name, c.Batch),
+		"TVM-AutoTune", "IOS", "IOS+AutoTune")
+	for i, g := range graphs {
+		m, err := frameworks.TVMAutoTune.Measure(g, c.Device)
+		if err != nil {
+			return err
+		}
+		iosLat, _, err := c.latencyOf(g, "IOS")
+		if err != nil {
+			return err
+		}
+		// Combined: IOS search over the better kernel per operator (a
+		// deployment would pick cuDNN or the autotuned kernel per shape,
+		// whichever measured faster).
+		comboOpts := frameworks.TVMAutoTune.ProfileOptions()
+		tvmQ := comboOpts.KernelQuality
+		comboOpts.KernelQuality = func(op graph.Op) float64 {
+			if q := tvmQ(op); q > 1 {
+				return q
+			}
+			return 1
+		}
+		comboProf := profile.NewWithOptions(c.Device, comboOpts)
+		res, err := core.Optimize(g, comboProf, c.Opts)
+		if err != nil {
+			return err
+		}
+		comboLat, err := comboProf.MeasureSchedule(res.Schedule)
+		if err != nil {
+			return err
+		}
+		chart.AddGroup(names[i],
+			float64(c.Batch)/m.Latency, float64(c.Batch)/iosLat, float64(c.Batch)/comboLat)
+	}
+	chart.Render(w)
+	fmt.Fprintln(w, "(the combination should dominate both — Section 7.4's future-work claim)")
+	return nil
+}
+
+// MemoryStudy reports weight and peak activation memory for the sequential
+// and IOS schedules of Inception V3 across Figure 11's batch sizes,
+// explaining why memory-hungry systems (TASO's substitution search) fall
+// over at batch 128.
+func MemoryStudy(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	t := report.NewTable("Extension: schedule memory by batch size (Inception V3)",
+		"batch", "weights MB", "seq peak act MB", "ios peak act MB", "ios total MB")
+	for _, batch := range Fig11BatchSizes {
+		g := models.InceptionV3(batch)
+		seq, err := baseline.Sequential(g)
+		if err != nil {
+			return err
+		}
+		seqMem := schedule.Memory(seq)
+		res, err := c.optimize(g, core.Both)
+		if err != nil {
+			return err
+		}
+		iosMem := schedule.Memory(res.Schedule)
+		t.AddRow(batch, seqMem.WeightBytes/1e6, seqMem.PeakActivationBytes/1e6,
+			iosMem.PeakActivationBytes/1e6, iosMem.Total()/1e6)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(activation memory scales with batch; engines holding extra tensor copies exhaust GPU memory at batch 128 — Figure 11's TASO OOM)")
+	return nil
+}
+
+// AblationContention sweeps the device's contention coefficient and
+// reports IOS's speedup over the sequential schedule on SqueezeNet, whose
+// tiny memory-bound kernels are the ones cache/bandwidth contention
+// punishes: higher contention shrinks the benefit of concurrency, which
+// is exactly why low-end GPUs need different schedules (Section 1).
+// (The Figure 2 block would show nothing here: its 3x3x384 convolutions
+// are compute-bound at batch one, and the contention model only degrades
+// the memory system.)
+func AblationContention(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	t := report.NewTable("Ablation: contention coefficient vs IOS speedup (SqueezeNet)",
+		"contention", "seq ms", "ios ms", "speedup", "ios stages")
+	for _, coef := range []float64{0, 0.04, 0.08, 0.16, 0.32, 0.64} {
+		dev := c.Device
+		dev.ContentionCoef = coef
+		g := models.SqueezeNet(c.Batch)
+		prof := profile.New(dev)
+		seq, err := baseline.Sequential(g)
+		if err != nil {
+			return err
+		}
+		seqLat, err := prof.MeasureSchedule(seq)
+		if err != nil {
+			return err
+		}
+		res, err := core.Optimize(g, prof, c.Opts)
+		if err != nil {
+			return err
+		}
+		iosLat, err := prof.MeasureSchedule(res.Schedule)
+		if err != nil {
+			return err
+		}
+		t.AddRow(coef, 1e3*seqLat, 1e3*iosLat, seqLat/iosLat, res.Schedule.NumStages())
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(speedup decays as contention rises; IOS adapts by serializing more)")
+	return nil
+}
+
+// AblationDevices runs IOS on Inception V3 across five GPU generations:
+// the faster the device, the larger the utilization gap sequential
+// execution leaves and the bigger IOS's win — the quantitative form of
+// Figure 1's motivation.
+func AblationDevices(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	t := report.NewTable("Ablation: IOS speedup by device generation (Inception V3, batch 1)",
+		"device", "peak TFLOP/s", "seq ms", "ios ms", "speedup")
+	for _, dev := range []gpusim.Spec{
+		gpusim.GTX980Ti, gpusim.GTX1080, gpusim.TeslaK80, gpusim.RTX2080Ti, gpusim.TeslaV100, gpusim.TeslaA100,
+	} {
+		g := models.InceptionV3(c.Batch)
+		prof := profile.New(dev)
+		seq, err := baseline.Sequential(g)
+		if err != nil {
+			return err
+		}
+		seqLat, err := prof.MeasureSchedule(seq)
+		if err != nil {
+			return err
+		}
+		res, err := core.Optimize(g, prof, c.Opts)
+		if err != nil {
+			return err
+		}
+		iosLat, err := prof.MeasureSchedule(res.Schedule)
+		if err != nil {
+			return err
+		}
+		t.AddRow(dev.Name, dev.PeakFLOPs/1e12, 1e3*seqLat, 1e3*iosLat, seqLat/iosLat)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(more parallel hardware -> bigger inter-operator win, Figure 1's trend)")
+	return nil
+}
+
+// AblationSerialTail quantifies the serial-tail candidate this
+// implementation adds to the DP (see core.scheduler): without it, pruning
+// r=3 caps chains at three operators and forces extra stage barriers.
+func AblationSerialTail(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	t := report.NewTable("Ablation: pruning with vs without long serial chains (SqueezeNet)",
+		"pruning", "ios ms", "stages")
+	g := models.SqueezeNet(c.Batch)
+	for _, p := range []core.Pruning{{R: 1, S: 8}, {R: 2, S: 8}, {R: 3, S: 8}, {R: 6, S: 8}} {
+		opts := c.Opts
+		opts.Pruning = p
+		prof := profile.New(c.Device)
+		res, err := core.Optimize(g, prof, opts)
+		if err != nil {
+			return err
+		}
+		lat, err := prof.MeasureSchedule(res.Schedule)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.String(), 1e3*lat, res.Schedule.NumStages())
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(with the serial tail, even r=1 keeps long chains available, so latency degrades gracefully)")
+	return nil
+}
+
+// Lightweight evaluates IOS on the mobile architectures the related-work
+// section names (MobileNetV2, ShuffleNet): dominated by tiny depthwise
+// kernels, they under-utilize a V100 even more than the main benchmarks,
+// so inter-operator scheduling recovers a meaningful fraction despite
+// their mostly sequential structure.
+func Lightweight(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	t := report.NewTable(fmt.Sprintf("Extension: lightweight mobile CNNs on %s, batch %d", c.Device.Name, c.Batch),
+		"network", "ops", "seq ms", "greedy ms", "ios ms", "ios speedup")
+	for _, b := range []models.Builder{models.MobileNetV2, models.ShuffleNet, models.SqueezeNet} {
+		g := b(c.Batch)
+		prof := profile.New(c.Device)
+		seq, err := baseline.Sequential(g)
+		if err != nil {
+			return err
+		}
+		seqLat, err := prof.MeasureSchedule(seq)
+		if err != nil {
+			return err
+		}
+		grd, err := baseline.Greedy(g)
+		if err != nil {
+			return err
+		}
+		grdLat, err := prof.MeasureSchedule(grd)
+		if err != nil {
+			return err
+		}
+		res, err := core.Optimize(g, prof, c.Opts)
+		if err != nil {
+			return err
+		}
+		iosLat, err := prof.MeasureSchedule(res.Schedule)
+		if err != nil {
+			return err
+		}
+		t.AddRow(g.Name, g.ComputeStats().Ops, 1e3*seqLat, 1e3*grdLat, 1e3*iosLat, seqLat/iosLat)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(mostly chain-structured nets gain less than multi-branch ones, as Section 2 implies)")
+	return nil
+}

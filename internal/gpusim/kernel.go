@@ -1,0 +1,70 @@
+package gpusim
+
+import "fmt"
+
+// Kernel is one GPU kernel launch: the unit the simulator executes. The
+// profiler lowers each schedule-unit operator to one or more kernels
+// (a separable convolution becomes a depthwise kernel plus a pointwise
+// kernel; a merged stage becomes a single wider kernel plus an optional
+// split copy).
+type Kernel struct {
+	// Name labels the kernel in traces.
+	Name string
+	// FLOPs is the arithmetic work of the launch.
+	FLOPs float64
+	// Bytes is the DRAM traffic of the launch.
+	Bytes float64
+	// Blocks is the number of thread blocks in the grid.
+	Blocks int
+	// WarpsPerBlock is the number of warps per thread block.
+	WarpsPerBlock int
+}
+
+// DefaultThreadsPerBlock is the block size assumed when deriving grids
+// from operator output sizes (256 threads = 8 warps, a common cuDNN
+// configuration).
+const DefaultThreadsPerBlock = 256
+
+// DefaultWarpsPerBlock is DefaultThreadsPerBlock / 32.
+const DefaultWarpsPerBlock = DefaultThreadsPerBlock / 32
+
+// GridFor returns the number of thread blocks for a kernel producing
+// outElems output elements with one element per thread.
+func GridFor(outElems int64) int {
+	if outElems <= 0 {
+		return 1
+	}
+	b := (outElems + DefaultThreadsPerBlock - 1) / DefaultThreadsPerBlock
+	if b < 1 {
+		b = 1
+	}
+	return int(b)
+}
+
+// Validate reports whether the kernel's fields are usable by the
+// simulator.
+func (k Kernel) Validate() error {
+	if k.FLOPs < 0 || k.Bytes < 0 {
+		return fmt.Errorf("gpusim: kernel %q has negative work (flops=%g bytes=%g)", k.Name, k.FLOPs, k.Bytes)
+	}
+	if k.Blocks < 1 {
+		return fmt.Errorf("gpusim: kernel %q has %d blocks", k.Name, k.Blocks)
+	}
+	if k.WarpsPerBlock < 1 {
+		return fmt.Errorf("gpusim: kernel %q has %d warps/block", k.Name, k.WarpsPerBlock)
+	}
+	return nil
+}
+
+// Stream is an ordered sequence of kernels issued back-to-back on one CUDA
+// stream: kernel i+1 starts only after kernel i completes.
+type Stream []Kernel
+
+// TotalFLOPs sums the arithmetic work of all kernels in the stream.
+func (s Stream) TotalFLOPs() float64 {
+	var f float64
+	for _, k := range s {
+		f += k.FLOPs
+	}
+	return f
+}

@@ -1,0 +1,394 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result reports one simulated multi-stream execution.
+type Result struct {
+	// Latency is the wall-clock time from first launch to last
+	// completion, in seconds. It does not include the stage barrier;
+	// callers that model a stage add Spec.StageSync.
+	Latency float64
+	// Trace records resident-warp counts over time for profiling
+	// (Figure 8). Nil unless Sim.RecordTrace is set.
+	Trace *WarpTrace
+	// Timeline records per-kernel spans. Nil unless Sim.RecordTimeline
+	// is set.
+	Timeline Timeline
+	// KernelCount is the number of kernel launches simulated.
+	KernelCount int
+}
+
+// Sim executes stream programs on a device model. A Sim is not safe for
+// concurrent use (it reuses internal scratch buffers across runs); create
+// one per goroutine. Construct with New.
+type Sim struct {
+	spec Spec
+	// RecordTrace enables resident-warp trace collection.
+	RecordTrace bool
+	// RecordTimeline enables per-kernel span collection.
+	RecordTimeline bool
+
+	// Scratch reused across runs to keep the scheduler's millions of
+	// stage measurements allocation-free.
+	arena   []activeKernel
+	active  []int
+	running []int
+	scratch []int
+}
+
+// New returns a simulator for the given device.
+func New(spec Spec) *Sim {
+	if spec.SMs <= 0 || spec.PeakFLOPs <= 0 || spec.MemBandwidth <= 0 {
+		panic(fmt.Sprintf("gpusim: invalid spec %+v", spec))
+	}
+	return &Sim{spec: spec}
+}
+
+// Spec returns the device model in use.
+func (s *Sim) Spec() Spec { return s.spec }
+
+// kernel execution phases.
+const (
+	phaseLaunching = iota
+	phaseRunning
+)
+
+type activeKernel struct {
+	stream    int
+	k         Kernel
+	phase     int
+	launchRem float64 // remaining launch overhead, seconds
+	workRem   float64 // fraction of the kernel's work remaining, in [0,1]
+	launchAt  float64 // time the launch was issued
+	startAt   float64 // time execution began
+
+	// Derived each rate step:
+	smAlloc float64 // fractional SMs allocated
+	warps   float64 // resident warps
+	rate    float64 // fraction of total work completed per second
+}
+
+// Run simulates the concurrent execution of the given streams and returns
+// the makespan. Streams model the paper's groups: kernels within a stream
+// are sequential, kernels across streams run concurrently subject to SM
+// capacity, shared bandwidth, and contention.
+func (s *Sim) Run(streams []Stream) Result {
+	var res Result
+	next := make([]int, len(streams)) // next kernel index per stream
+	s.arena = s.arena[:0]
+	s.active = s.active[:0]
+
+	// launch enqueues stream si's next kernel at time at, returning its
+	// arena index or -1 when the stream is exhausted.
+	launch := func(si int, at float64) int {
+		if next[si] >= len(streams[si]) {
+			return -1
+		}
+		k := streams[si][next[si]]
+		next[si]++
+		if err := k.Validate(); err != nil {
+			panic(err)
+		}
+		res.KernelCount++
+		ak := activeKernel{stream: si, k: k, phase: phaseLaunching,
+			launchRem: s.spec.KernelLaunch, workRem: 1, launchAt: at, startAt: at}
+		if k.FLOPs == 0 && k.Bytes == 0 {
+			// Free kernels (identity) cost only launch time; model them
+			// as launch-only by zeroing work.
+			ak.workRem = 0
+		}
+		s.arena = append(s.arena, ak)
+		return len(s.arena) - 1
+	}
+	for si := range streams {
+		if idx := launch(si, 0); idx >= 0 {
+			s.active = append(s.active, idx)
+		}
+	}
+
+	var trace *WarpTrace
+	if s.RecordTrace {
+		trace = &WarpTrace{}
+	}
+
+	t := 0.0
+	for len(s.active) > 0 {
+		s.assignRates()
+
+		// Find earliest completion across phases.
+		dt := math.Inf(1)
+		for _, i := range s.active {
+			ak := &s.arena[i]
+			var rem float64
+			switch ak.phase {
+			case phaseLaunching:
+				rem = ak.launchRem
+			case phaseRunning:
+				if ak.workRem <= 0 {
+					rem = 0
+				} else if ak.rate <= 0 {
+					continue // starved; another completion frees resources
+				} else {
+					rem = ak.workRem / ak.rate
+				}
+			}
+			if rem < dt {
+				dt = rem
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// Every active kernel is starved, which cannot happen since
+			// rates are proportional shares of positive capacity.
+			panic("gpusim: deadlock: all active kernels starved")
+		}
+
+		if trace != nil {
+			var warps float64
+			for _, i := range s.active {
+				if s.arena[i].phase == phaseRunning {
+					warps += s.arena[i].warps
+				}
+			}
+			trace.add(t, t+dt, warps)
+		}
+
+		// Advance every active kernel by dt, then replace completions
+		// with their stream successors (in deterministic stream order).
+		t += dt
+		still := s.active[:0]
+		completed := s.scratch[:0]
+		for _, i := range s.active {
+			ak := &s.arena[i]
+			done := false
+			switch ak.phase {
+			case phaseLaunching:
+				ak.launchRem -= dt
+				if ak.launchRem <= 1e-15 {
+					ak.startAt = t
+					if ak.workRem <= 0 {
+						done = true
+					} else {
+						ak.phase = phaseRunning
+					}
+				}
+			case phaseRunning:
+				if ak.rate > 0 {
+					ak.workRem -= dt * ak.rate
+				}
+				if ak.workRem <= 1e-12 {
+					done = true
+				}
+			}
+			if done {
+				if s.RecordTimeline {
+					res.Timeline = append(res.Timeline, KernelSpan{
+						Name: ak.k.Name, Stream: ak.stream,
+						Launch: ak.launchAt, Start: ak.startAt, End: t,
+					})
+				}
+				completed = append(completed, ak.stream)
+				continue
+			}
+			still = append(still, i)
+		}
+		s.active = still
+		s.scratch = completed[:0]
+		for _, si := range completed {
+			// launch may grow the arena; indices remain stable.
+			if idx := launch(si, t); idx >= 0 {
+				s.active = append(s.active, idx)
+			}
+		}
+	}
+	res.Latency = t
+	res.Trace = trace
+	return res
+}
+
+// assignRates computes each running kernel's SM allocation, resident
+// warps, and work-completion rate under the fluid sharing model.
+func (s *Sim) assignRates() {
+	spec := s.spec
+	// Collect running kernels up to the hardware concurrency limit; the
+	// remainder waits (rate 0).
+	s.running = s.running[:0]
+	for _, i := range s.active {
+		ak := &s.arena[i]
+		if ak.phase != phaseRunning {
+			continue
+		}
+		if len(s.running) < spec.MaxConcurrentKernels {
+			s.running = append(s.running, i)
+		} else {
+			ak.rate, ak.smAlloc, ak.warps = 0, 0, 0
+		}
+	}
+	if len(s.running) == 0 {
+		return
+	}
+
+	// SM allocation: each kernel requests enough SMs to host its grid at
+	// full residency; oversubscription shares proportionally.
+	totalReq := 0.0
+	for _, i := range s.running {
+		ak := &s.arena[i]
+		r := math.Ceil(float64(ak.k.Blocks) / float64(spec.BlocksPerSM))
+		if r < 1 {
+			r = 1
+		}
+		if r > float64(spec.SMs) {
+			r = float64(spec.SMs)
+		}
+		ak.smAlloc = r // provisional request; scaled below
+		totalReq += r
+	}
+	scale := 1.0
+	if totalReq > float64(spec.SMs) {
+		scale = float64(spec.SMs) / totalReq
+	}
+
+	// Contention factor: each extra co-running kernel degrades the
+	// memory system multiplicatively.
+	contention := 1.0 / (1.0 + spec.ContentionCoef*float64(len(s.running)-1))
+
+	// Resident warps determine both bandwidth shares and per-SM compute
+	// efficiency (latency hiding).
+	for _, i := range s.running {
+		ak := &s.arena[i]
+		alloc := ak.smAlloc * scale
+		residentBlocks := math.Min(float64(ak.k.Blocks), alloc*float64(spec.BlocksPerSM))
+		warps := residentBlocks * float64(ak.k.WarpsPerBlock)
+		maxWarps := alloc * float64(spec.WarpsPerSM)
+		if warps > maxWarps {
+			warps = maxWarps
+		}
+		ak.smAlloc = alloc
+		ak.warps = warps
+	}
+
+	// Compute rates: device peak scaled by SM share and occupancy
+	// efficiency.
+	computeRate := make([]float64, len(s.running))
+	for idx, i := range s.running {
+		ak := &s.arena[i]
+		warpsPerSM := 0.0
+		if ak.smAlloc > 0 {
+			warpsPerSM = ak.warps / ak.smAlloc
+		}
+		eff := warpsPerSM / float64(spec.WarpsForPeak)
+		if eff > 1 {
+			eff = 1
+		}
+		computeRate[idx] = spec.PeakFLOPs * (ak.smAlloc / float64(spec.SMs)) * eff
+	}
+
+	// Memory rates: water-filling of the (contention-degraded) bandwidth,
+	// weighted by resident warps. A kernel whose compute time already
+	// dominates only demands enough bandwidth to keep memory off its
+	// critical path; the surplus flows to memory-hungry co-runners, which
+	// keeps the model work-conserving.
+	memRate := s.waterFill(computeRate, spec.MemBandwidth*contention)
+
+	for idx, i := range s.running {
+		ak := &s.arena[i]
+		// Fluid completion rate: compute and memory phases overlap; the
+		// kernel finishes when the slower dimension finishes.
+		dur := 0.0
+		if ak.k.FLOPs > 0 && computeRate[idx] > 0 {
+			dur = ak.k.FLOPs / computeRate[idx]
+		}
+		if ak.k.Bytes > 0 {
+			if memRate[idx] <= 0 {
+				// Starved of bandwidth this step; progress only via any
+				// compute-bound slack (none if dur is 0).
+				ak.rate = 0
+				continue
+			}
+			if md := ak.k.Bytes / memRate[idx]; md > dur {
+				dur = md
+			}
+		}
+		if dur <= 0 {
+			// Work declared but no capacity (cannot happen with positive
+			// spec); treat as instantaneous.
+			ak.rate = math.Inf(1)
+			continue
+		}
+		ak.rate = 1.0 / dur
+	}
+}
+
+// waterFill distributes memory bandwidth capacity across the running
+// kernels by progressive filling: each round splits the remaining
+// capacity proportionally to resident warps; kernels whose demand (the
+// bandwidth that makes their memory time equal their compute time) is
+// met are granted exactly their demand and removed, releasing surplus to
+// the rest.
+func (s *Sim) waterFill(computeRate []float64, capacity float64) []float64 {
+	n := len(s.running)
+	granted := make([]float64, n)
+	demand := make([]float64, n)
+	unsat := make([]int, 0, n)
+	for idx, i := range s.running {
+		ak := &s.arena[i]
+		if ak.k.Bytes <= 0 {
+			continue
+		}
+		if ak.k.FLOPs > 0 && computeRate[idx] > 0 {
+			demand[idx] = ak.k.Bytes / (ak.k.FLOPs / computeRate[idx])
+		} else {
+			demand[idx] = math.Inf(1)
+		}
+		unsat = append(unsat, idx)
+	}
+	remaining := capacity
+	for len(unsat) > 0 && remaining > 0 {
+		var weight float64
+		for _, idx := range unsat {
+			weight += s.arena[s.running[idx]].warps
+		}
+		if weight <= 0 {
+			// Degenerate: split evenly.
+			for _, idx := range unsat {
+				granted[idx] = remaining / float64(len(unsat))
+			}
+			return granted
+		}
+		progressed := false
+		var used float64
+		next := unsat[:0]
+		for _, idx := range unsat {
+			share := remaining * s.arena[s.running[idx]].warps / weight
+			if demand[idx] <= share {
+				granted[idx] = demand[idx]
+				used += demand[idx]
+				progressed = true
+				continue
+			}
+			next = append(next, idx)
+		}
+		if !progressed {
+			// Everyone wants more than their share: final proportional
+			// split.
+			for _, idx := range next {
+				granted[idx] = remaining * s.arena[s.running[idx]].warps / weight
+			}
+			return granted
+		}
+		remaining -= used
+		if remaining < 0 {
+			remaining = 0
+		}
+		unsat = next
+	}
+	return granted
+}
+
+// RunSequential is a convenience wrapper that executes all kernels on a
+// single stream.
+func (s *Sim) RunSequential(kernels []Kernel) Result {
+	return s.Run([]Stream{Stream(kernels)})
+}

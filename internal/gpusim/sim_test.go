@@ -1,0 +1,367 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// testSpec is a small device that makes hand calculations easy: 4 SMs,
+// 1 TFLOP/s, 100 GB/s, no overheads or contention.
+func testSpec() Spec {
+	return Spec{
+		Name: "test", SMs: 4, PeakFLOPs: 1e12, MemBandwidth: 100e9,
+		BlocksPerSM: 2, WarpsPerSM: 16, WarpsForPeak: 8,
+		KernelLaunch: 0, StageSync: 0, ContentionCoef: 0,
+		MaxConcurrentKernels: 32,
+	}
+}
+
+// bigKernel saturates the test device: 8 blocks x 8 warps.
+func bigKernel(flops, bytes float64) Kernel {
+	return Kernel{Name: "k", FLOPs: flops, Bytes: bytes, Blocks: 8, WarpsPerBlock: 8}
+}
+
+func TestComputeBoundKernel(t *testing.T) {
+	// Full residency on all 4 SMs with 16 warps/SM >= WarpsForPeak:
+	// 1e9 FLOPs at 1e12 FLOP/s = 1 ms.
+	sim := New(testSpec())
+	res := sim.RunSequential([]Kernel{bigKernel(1e9, 0)})
+	if math.Abs(res.Latency-1e-3) > 1e-9 {
+		t.Errorf("latency = %g, want 1e-3", res.Latency)
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	// 1e6 bytes at 100 GB/s = 10 us; compute is negligible.
+	sim := New(testSpec())
+	res := sim.RunSequential([]Kernel{bigKernel(1, 1e6)})
+	if math.Abs(res.Latency-1e-5) > 1e-9 {
+		t.Errorf("latency = %g, want 1e-5", res.Latency)
+	}
+}
+
+func TestRooflineMax(t *testing.T) {
+	// Compute time 1 ms, memory time 0.5 ms -> overlap: 1 ms.
+	sim := New(testSpec())
+	res := sim.RunSequential([]Kernel{bigKernel(1e9, 50e3*1e3)})
+	if math.Abs(res.Latency-1e-3) > 1e-9 {
+		t.Errorf("latency = %g, want 1e-3", res.Latency)
+	}
+}
+
+func TestSmallKernelCannotFillDevice(t *testing.T) {
+	// 2 blocks fit on 1 SM: the kernel gets 1/4 of the device and (16
+	// warps on that SM) full per-SM efficiency: 4x slower than peak.
+	sim := New(testSpec())
+	k := Kernel{Name: "small", FLOPs: 1e9, Bytes: 0, Blocks: 2, WarpsPerBlock: 8}
+	res := sim.RunSequential([]Kernel{k})
+	if math.Abs(res.Latency-4e-3) > 1e-8 {
+		t.Errorf("latency = %g, want 4e-3", res.Latency)
+	}
+}
+
+func TestLowOccupancyPenalty(t *testing.T) {
+	// 1 block of 2 warps on one SM: 2 warps < WarpsForPeak(8) => 1/4 of
+	// the per-SM rate on 1/4 of the device = 1/16 of peak.
+	sim := New(testSpec())
+	k := Kernel{Name: "tiny", FLOPs: 1e9, Bytes: 0, Blocks: 1, WarpsPerBlock: 2}
+	res := sim.RunSequential([]Kernel{k})
+	want := 16e-3
+	if math.Abs(res.Latency-want) > 1e-8 {
+		t.Errorf("latency = %g, want %g", res.Latency, want)
+	}
+}
+
+func TestTwoSmallKernelsOverlapPerfectly(t *testing.T) {
+	// Two 2-block compute kernels occupy disjoint SMs: concurrent run
+	// takes the same time as one alone.
+	sim := New(testSpec())
+	k := Kernel{Name: "half", FLOPs: 1e9, Bytes: 0, Blocks: 2, WarpsPerBlock: 8}
+	solo := sim.RunSequential([]Kernel{k}).Latency
+	conc := sim.Run([]Stream{{k}, {k}}).Latency
+	if math.Abs(conc-solo) > 1e-9 {
+		t.Errorf("concurrent = %g, solo = %g", conc, solo)
+	}
+	seq := sim.RunSequential([]Kernel{k, k}).Latency
+	if math.Abs(seq-2*solo) > 1e-9 {
+		t.Errorf("sequential = %g, want %g", seq, 2*solo)
+	}
+}
+
+func TestOversubscriptionShares(t *testing.T) {
+	// Two device-filling compute kernels split the SMs: the pair takes
+	// twice one kernel's solo time (no overhead, work conserving).
+	sim := New(testSpec())
+	k := bigKernel(1e9, 0)
+	solo := sim.RunSequential([]Kernel{k}).Latency
+	conc := sim.Run([]Stream{{k}, {k}}).Latency
+	if math.Abs(conc-2*solo) > 1e-9 {
+		t.Errorf("concurrent = %g, want %g", conc, 2*solo)
+	}
+}
+
+func TestContentionSlowsMemoryBoundPairs(t *testing.T) {
+	spec := testSpec()
+	spec.ContentionCoef = 0.5
+	sim := New(spec)
+	k := Kernel{Name: "mem", FLOPs: 0, Bytes: 1e6, Blocks: 2, WarpsPerBlock: 8}
+	solo := sim.RunSequential([]Kernel{k}).Latency
+	conc := sim.Run([]Stream{{k}, {k}}).Latency
+	// Serial: 2*solo. Concurrent with 50% contention: bandwidth split and
+	// degraded 1/(1+0.5) => total 2*solo*1.5.
+	if conc <= 2*solo {
+		t.Errorf("contention did not hurt: conc %g <= serial %g", conc, 2*solo)
+	}
+	if math.Abs(conc-3*solo) > 1e-9 {
+		t.Errorf("conc = %g, want %g", conc, 3*solo)
+	}
+}
+
+func TestLaunchOverheadSerializesOnStream(t *testing.T) {
+	spec := testSpec()
+	spec.KernelLaunch = 10e-6
+	sim := New(spec)
+	k := bigKernel(1e9, 0) // 1 ms of work
+	res := sim.RunSequential([]Kernel{k, k})
+	want := 2*1e-3 + 2*10e-6
+	if math.Abs(res.Latency-want) > 1e-8 {
+		t.Errorf("latency = %g, want %g", res.Latency, want)
+	}
+}
+
+func TestZeroWorkKernelCostsOnlyLaunch(t *testing.T) {
+	spec := testSpec()
+	spec.KernelLaunch = 5e-6
+	sim := New(spec)
+	res := sim.RunSequential([]Kernel{{Name: "id", Blocks: 1, WarpsPerBlock: 1}})
+	if math.Abs(res.Latency-5e-6) > 1e-12 {
+		t.Errorf("latency = %g, want 5e-6", res.Latency)
+	}
+}
+
+func TestMaxConcurrentKernelsQueues(t *testing.T) {
+	spec := testSpec()
+	spec.MaxConcurrentKernels = 1
+	sim := New(spec)
+	k := Kernel{Name: "half", FLOPs: 1e9, Bytes: 0, Blocks: 2, WarpsPerBlock: 8}
+	conc := sim.Run([]Stream{{k}, {k}}).Latency
+	solo := sim.RunSequential([]Kernel{k}).Latency
+	if math.Abs(conc-2*solo) > 1e-9 {
+		t.Errorf("hardware limit ignored: conc = %g, want %g", conc, 2*solo)
+	}
+}
+
+func TestEmptyStreams(t *testing.T) {
+	sim := New(testSpec())
+	res := sim.Run(nil)
+	if res.Latency != 0 || res.KernelCount != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+	res = sim.Run([]Stream{{}, {}})
+	if res.Latency != 0 {
+		t.Errorf("empty streams latency = %g", res.Latency)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	bad := []Kernel{
+		{Name: "negflops", FLOPs: -1, Blocks: 1, WarpsPerBlock: 1},
+		{Name: "noblocks", Blocks: 0, WarpsPerBlock: 1},
+		{Name: "nowarps", Blocks: 1, WarpsPerBlock: 0},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("kernel %q validated", k.Name)
+		}
+	}
+	ok := Kernel{Name: "ok", FLOPs: 1, Bytes: 1, Blocks: 1, WarpsPerBlock: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid kernel rejected: %v", err)
+	}
+}
+
+func TestTraceAccountsResidency(t *testing.T) {
+	sim := New(testSpec())
+	sim.RecordTrace = true
+	k := bigKernel(1e9, 0) // 64 warps resident for 1 ms
+	res := sim.RunSequential([]Kernel{k})
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	if got, want := res.Trace.WarpSeconds(), 64*1e-3; math.Abs(got-want) > 1e-9 {
+		t.Errorf("warp-seconds = %g, want %g", got, want)
+	}
+	if got := res.Trace.MeanWarps(); math.Abs(got-64) > 1e-6 {
+		t.Errorf("mean warps = %g, want 64", got)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	tr := &WarpTrace{}
+	tr.add(0, 1e-3, 10)
+	tr.add(1e-3, 2e-3, 20)
+	samples := tr.Sample(0.5e-3)
+	// Windows: [0,.5)=5e-3, [.5,1)=5e-3, [1,1.5)=10e-3, [1.5,2)=10e-3.
+	want := []float64{5e-3, 5e-3, 10e-3, 10e-3}
+	for i, w := range want {
+		if i >= len(samples) || math.Abs(samples[i]-w) > 1e-12 {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+	// Total warp-seconds preserved by sampling.
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	if math.Abs(sum-tr.WarpSeconds()) > 1e-12 {
+		t.Errorf("sampling lost mass: %g vs %g", sum, tr.WarpSeconds())
+	}
+}
+
+func TestTraceAppend(t *testing.T) {
+	a := &WarpTrace{}
+	a.add(0, 1e-3, 5)
+	b := &WarpTrace{}
+	b.add(0, 2e-3, 7)
+	a.Append(b)
+	if math.Abs(a.Duration()-3e-3) > 1e-12 {
+		t.Errorf("duration = %g", a.Duration())
+	}
+	if math.Abs(a.WarpSeconds()-(5e-3+14e-3)) > 1e-12 {
+		t.Errorf("warp-seconds = %g", a.WarpSeconds())
+	}
+	a.AppendIdle(1e-3)
+	if math.Abs(a.Duration()-4e-3) > 1e-12 {
+		t.Errorf("duration after idle = %g", a.Duration())
+	}
+}
+
+// Property: makespan is at least the best-case bound (total work at device
+// peak) and at most serial execution of everything, for arbitrary small
+// workloads.
+func TestQuickMakespanBounds(t *testing.T) {
+	spec := testSpec()
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed uint32) bool {
+		rng := newRand(seed)
+		nStreams := 1 + int(rng()%3)
+		streams := make([]Stream, nStreams)
+		var totalF, totalB float64
+		for i := range streams {
+			nk := 1 + int(rng()%3)
+			for j := 0; j < nk; j++ {
+				k := Kernel{
+					Name:          "q",
+					FLOPs:         float64(rng()%1000) * 1e6,
+					Bytes:         float64(rng()%1000) * 1e3,
+					Blocks:        1 + int(rng()%16),
+					WarpsPerBlock: 1 + int(rng()%8),
+				}
+				totalF += k.FLOPs
+				totalB += k.Bytes
+				streams[i] = append(streams[i], k)
+			}
+		}
+		sim := New(spec)
+		conc := sim.Run(streams).Latency
+		lower := math.Max(totalF/spec.PeakFLOPs, totalB/spec.MemBandwidth)
+		var serial []Kernel
+		for _, s := range streams {
+			serial = append(serial, s...)
+		}
+		serialLat := New(spec).RunSequential(serial).Latency
+		const eps = 1e-9
+		return conc >= lower-eps && conc <= serialLat+eps
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// newRand is a tiny deterministic PRNG for quick properties.
+func newRand(seed uint32) func() uint32 {
+	state := seed*2654435761 + 1
+	return func() uint32 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"v100", "k80", "2080ti", "1080", "980ti", "a100"} {
+		if _, ok := SpecByName(name); !ok {
+			t.Errorf("SpecByName(%q) failed", name)
+		}
+	}
+	if _, ok := SpecByName("tpu"); ok {
+		t.Error("SpecByName accepted unknown device")
+	}
+	if got := TeslaV100.PerSMPeak(); math.Abs(got-15.7e12/80) > 1 {
+		t.Errorf("PerSMPeak = %g", got)
+	}
+}
+
+// Property: the simulator is deterministic — identical inputs give
+// identical results across runs and across fresh simulator instances.
+func TestQuickDeterminism(t *testing.T) {
+	spec := TeslaV100
+	err := quick.Check(func(seed uint32) bool {
+		rng := newRand(seed)
+		streams := make([]Stream, 1+int(rng()%4))
+		for i := range streams {
+			for j := 0; j < 1+int(rng()%4); j++ {
+				streams[i] = append(streams[i], Kernel{
+					Name:          "k",
+					FLOPs:         float64(rng()%5000) * 1e5,
+					Bytes:         float64(rng()%5000) * 1e3,
+					Blocks:        1 + int(rng()%2000),
+					WarpsPerBlock: 1 + int(rng()%8),
+				})
+			}
+		}
+		a := New(spec).Run(streams)
+		b := New(spec).Run(streams)
+		sim := New(spec)
+		c := sim.Run(streams)
+		d := sim.Run(streams) // scratch reuse must not change results
+		return a.Latency == b.Latency && c.Latency == d.Latency && a.Latency == c.Latency
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: Sample must terminate and conserve mass even when segment
+// boundaries sit one ulp below window boundaries (a float-cursor loop
+// stalled here and hung the Figure 8 experiment).
+func TestSampleBoundaryUlp(t *testing.T) {
+	tr := &WarpTrace{}
+	period := 9.432e-05 / 40 // the period observed in the hang
+	// Construct segments whose endpoints land arbitrarily close to
+	// window boundaries.
+	ts := []float64{0, period * 3, math.Nextafter(period*7, 0), period * 7,
+		math.Nextafter(period*11, 1), period * 13, 9.432e-05}
+	for i := 0; i+1 < len(ts); i++ {
+		if ts[i+1] > ts[i] {
+			tr.add(ts[i], ts[i+1], float64(i+1))
+		}
+	}
+	done := make(chan []float64, 1)
+	go func() { done <- tr.Sample(period) }()
+	select {
+	case samples := <-done:
+		var sum float64
+		for _, s := range samples {
+			sum += s
+		}
+		if math.Abs(sum-tr.WarpSeconds()) > 1e-12*tr.WarpSeconds() {
+			t.Errorf("mass not conserved: %g vs %g", sum, tr.WarpSeconds())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Sample did not terminate")
+	}
+}

@@ -1,0 +1,83 @@
+package gpusim
+
+// Kernel timelines: per-launch start/end records from a simulated run,
+// used by cmd/iosviz's Chrome-trace export and by tests that assert
+// overlap structure (which kernels actually ran concurrently).
+
+// KernelSpan records one kernel's lifetime within a simulated run.
+type KernelSpan struct {
+	// Name is the kernel's name.
+	Name string
+	// Stream is the issuing stream (group) index.
+	Stream int
+	// Launch is the time the launch was issued, seconds from run start.
+	Launch float64
+	// Start is the time the kernel began executing (launch overhead
+	// elapsed).
+	Start float64
+	// End is the completion time.
+	End float64
+}
+
+// Timeline is an ordered list of kernel spans from one run.
+type Timeline []KernelSpan
+
+// Duration returns the last completion time.
+func (t Timeline) Duration() float64 {
+	var d float64
+	for _, s := range t {
+		if s.End > d {
+			d = s.End
+		}
+	}
+	return d
+}
+
+// MaxConcurrency returns the largest number of kernels executing
+// simultaneously (in their Start..End windows).
+func (t Timeline) MaxConcurrency() int {
+	type ev struct {
+		at    float64
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(t))
+	for _, s := range t {
+		evs = append(evs, ev{s.Start, 1}, ev{s.End, -1})
+	}
+	// Insertion sort by time, ends before starts at equal times.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+func less(a, b struct {
+	at    float64
+	delta int
+}) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.delta < b.delta
+}
+
+// Shift returns a copy of the timeline offset by dt seconds.
+func (t Timeline) Shift(dt float64) Timeline {
+	out := make(Timeline, len(t))
+	for i, s := range t {
+		s.Launch += dt
+		s.Start += dt
+		s.End += dt
+		out[i] = s
+	}
+	return out
+}

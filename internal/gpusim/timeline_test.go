@@ -1,0 +1,57 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	spec := testSpec()
+	spec.KernelLaunch = 2e-6
+	sim := New(spec)
+	sim.RecordTimeline = true
+	k := Kernel{Name: "half", FLOPs: 1e9, Bytes: 0, Blocks: 2, WarpsPerBlock: 8}
+	res := sim.Run([]Stream{{k, k}, {k}})
+	if len(res.Timeline) != 3 {
+		t.Fatalf("timeline spans = %d, want 3", len(res.Timeline))
+	}
+	for _, s := range res.Timeline {
+		if s.Start < s.Launch || s.End <= s.Start {
+			t.Errorf("inconsistent span %+v", s)
+		}
+		if math.Abs(s.Start-s.Launch-spec.KernelLaunch) > 1e-12 {
+			t.Errorf("launch overhead not reflected: %+v", s)
+		}
+	}
+	if got := res.Timeline.Duration(); math.Abs(got-res.Latency) > 1e-12 {
+		t.Errorf("timeline duration %g != latency %g", got, res.Latency)
+	}
+}
+
+func TestTimelineConcurrencyStructure(t *testing.T) {
+	sim := New(testSpec())
+	sim.RecordTimeline = true
+	k := Kernel{Name: "half", FLOPs: 1e9, Bytes: 0, Blocks: 2, WarpsPerBlock: 8}
+	// Two streams: their kernels overlap; max concurrency 2.
+	res := sim.Run([]Stream{{k}, {k}})
+	if got := res.Timeline.MaxConcurrency(); got != 2 {
+		t.Errorf("max concurrency = %d, want 2", got)
+	}
+	// One stream: serialized; max concurrency 1.
+	res = sim.Run([]Stream{{k, k}})
+	if got := res.Timeline.MaxConcurrency(); got != 1 {
+		t.Errorf("serial max concurrency = %d, want 1", got)
+	}
+}
+
+func TestTimelineShift(t *testing.T) {
+	tl := Timeline{{Name: "k", Launch: 0, Start: 1e-6, End: 2e-6}}
+	s := tl.Shift(1e-3)
+	if s[0].Launch != 1e-3 || s[0].Start != 1e-3+1e-6 || s[0].End != 1e-3+2e-6 {
+		t.Errorf("shift wrong: %+v", s[0])
+	}
+	// Original untouched.
+	if tl[0].Launch != 0 {
+		t.Error("shift mutated original")
+	}
+}

@@ -1,0 +1,113 @@
+package gpusim
+
+// WarpTrace records the number of resident ("active") warps on the device
+// over time. It is the simulator's analogue of sampling NVIDIA's CUPTI
+// counters (Section 6.3 / Figure 8): an active warp is one scheduled on an
+// SM that has not retired its last instruction, which in the fluid model is
+// exactly the resident-warp count of every running kernel.
+type WarpTrace struct {
+	segs []warpSegment
+}
+
+type warpSegment struct {
+	t0, t1 float64
+	warps  float64
+}
+
+func (w *WarpTrace) add(t0, t1, warps float64) {
+	if t1 <= t0 {
+		return
+	}
+	// Merge with the previous segment when contiguous with equal level,
+	// to keep traces compact across event boundaries that do not change
+	// residency.
+	if n := len(w.segs); n > 0 && w.segs[n-1].t1 == t0 && w.segs[n-1].warps == warps {
+		w.segs[n-1].t1 = t1
+		return
+	}
+	w.segs = append(w.segs, warpSegment{t0, t1, warps})
+}
+
+// Duration returns the trace end time in seconds.
+func (w *WarpTrace) Duration() float64 {
+	if len(w.segs) == 0 {
+		return 0
+	}
+	return w.segs[len(w.segs)-1].t1
+}
+
+// Append concatenates another trace after this one, shifting its times.
+// Used to build a long trace from repeated executions.
+func (w *WarpTrace) Append(other *WarpTrace) {
+	off := w.Duration()
+	for _, s := range other.segs {
+		w.add(s.t0+off, s.t1+off, s.warps)
+	}
+}
+
+// AppendIdle appends a zero-warp gap (stage synchronization).
+func (w *WarpTrace) AppendIdle(dur float64) {
+	off := w.Duration()
+	w.add(off, off+dur, 0)
+}
+
+// WarpSeconds returns the time integral of active warps (warp·seconds),
+// the quantity behind the paper's "active warps between two timestamps".
+func (w *WarpTrace) WarpSeconds() float64 {
+	var total float64
+	for _, s := range w.segs {
+		total += s.warps * (s.t1 - s.t0)
+	}
+	return total
+}
+
+// MeanWarps returns the time-averaged active warp count.
+func (w *WarpTrace) MeanWarps() float64 {
+	d := w.Duration()
+	if d == 0 {
+		return 0
+	}
+	return w.WarpSeconds() / d
+}
+
+// Sample integrates the trace over consecutive windows of the given period
+// and returns, per window, the number of warp·seconds observed in it —
+// matching the paper's "#active warps between two timestamps" sampled every
+// 2.1 ms with CUPTI.
+//
+// Windows are iterated by integer index: advancing a float cursor to each
+// window boundary can stall at one ulp of progress per step when a segment
+// endpoint sits just below a boundary, which turns the loop into an
+// effectively infinite one.
+func (w *WarpTrace) Sample(period float64) []float64 {
+	if period <= 0 || len(w.segs) == 0 {
+		return nil
+	}
+	n := int(w.Duration()/period) + 1
+	out := make([]float64, n)
+	for _, s := range w.segs {
+		// Distribute the segment's warp·seconds across the windows it
+		// overlaps.
+		k0 := int(s.t0 / period)
+		if k0 < 0 {
+			k0 = 0
+		}
+		for k := k0; k < n; k++ {
+			lo := float64(k) * period
+			if lo >= s.t1 {
+				break
+			}
+			hi := lo + period
+			if s.t0 > lo {
+				lo = s.t0
+			}
+			if s.t1 < hi {
+				hi = s.t1
+			}
+			if hi > lo {
+				out[k] += s.warps * (hi - lo)
+			}
+		}
+	}
+	return out
+}

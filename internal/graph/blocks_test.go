@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainGraph builds in -> c1 -> c2 -> ... -> cN.
+func chainGraph(n int) *Graph {
+	g := New("chain")
+	x := g.Input("in", Shape{1, 4, 16, 16})
+	for i := 0; i < n; i++ {
+		x = g.Conv(nameI("c", i), x, ConvOpts{Out: 4, Kernel: 3})
+	}
+	return g
+}
+
+func nameI(p string, i int) string { return p + string(rune('a'+i)) }
+
+func TestPartitionChain(t *testing.T) {
+	g := chainGraph(5)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure chain cuts after every node.
+	if len(blocks) != 5 {
+		t.Fatalf("chain blocks = %d, want 5", len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b.Nodes) != 1 {
+			t.Errorf("block %d has %d nodes", b.Index, len(b.Nodes))
+		}
+		if b.Width() != 1 {
+			t.Errorf("block %d width = %d", b.Index, b.Width())
+		}
+	}
+}
+
+func TestPartitionDiamond(t *testing.T) {
+	// in -> a -> {b, c} -> cat: one block (a's output feeds two branches,
+	// then the concat closes it), cut after a and after cat.
+	g := New("diamond")
+	in := g.Input("in", Shape{1, 4, 16, 16})
+	a := g.Conv("a", in, ConvOpts{Out: 8, Kernel: 3})
+	b := g.Conv("b", a, ConvOpts{Out: 8, Kernel: 3})
+	c := g.Conv("c", a, ConvOpts{Out: 8, Kernel: 3})
+	g.Concat("cat", b, c)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (a | b,c,cat)", len(blocks))
+	}
+	if len(blocks[1].Nodes) != 3 {
+		t.Errorf("second block has %d nodes, want 3", len(blocks[1].Nodes))
+	}
+	if blocks[1].Width() != 2 {
+		t.Errorf("second block width = %d, want 2", blocks[1].Width())
+	}
+}
+
+func TestPartitionInputFanout(t *testing.T) {
+	// The Figure 2 shape: input feeds a, c, d directly — no cut may be
+	// placed before all of the input's consumers appeared.
+	g := New("fanout")
+	in := g.Input("in", Shape{1, 4, 16, 16})
+	a := g.Conv("a", in, ConvOpts{Out: 8, Kernel: 3})
+	b := g.Conv("b", a, ConvOpts{Out: 8, Kernel: 3})
+	c := g.Conv("c", in, ConvOpts{Out: 8, Kernel: 3})
+	d := g.Conv("d", in, ConvOpts{Out: 8, Kernel: 3})
+	g.Concat("cat", b, c, d)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(blocks))
+	}
+	if got := blocks[0].Width(); got != 3 {
+		t.Errorf("width = %d, want 3 ({a,c,d} or {b,c,d})", got)
+	}
+}
+
+func TestManualCuts(t *testing.T) {
+	g := New("manual")
+	in := g.Input("in", Shape{1, 4, 16, 16})
+	a := g.Conv("a", in, ConvOpts{Out: 8, Kernel: 3})
+	g.CutBlock()
+	b := g.Conv("b", a, ConvOpts{Out: 8, Kernel: 3})
+	c := g.Conv("c", a, ConvOpts{Out: 8, Kernel: 3}) // consumes across the cut
+	g.Concat("cat", b, c)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	if len(blocks[0].Nodes) != 1 || blocks[0].Nodes[0].Name != "a" {
+		t.Errorf("first block = %v", blocks[0].Nodes)
+	}
+}
+
+func TestPartitionSizeCap(t *testing.T) {
+	g := chainGraph(10)
+	// Force blocks of at most 3 ops even though the chain would cut
+	// finer; the cap path must still produce valid blocks.
+	blocks, err := g.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if len(b.Nodes) > 3 {
+			t.Errorf("block %d exceeds cap: %d", b.Index, len(b.Nodes))
+		}
+	}
+}
+
+func TestBlockAdjacency(t *testing.T) {
+	g := New("adj")
+	in := g.Input("in", Shape{1, 4, 16, 16})
+	a := g.Conv("a", in, ConvOpts{Out: 8, Kernel: 3})
+	b := g.Conv("b", a, ConvOpts{Out: 8, Kernel: 3})
+	c := g.Conv("c", a, ConvOpts{Out: 8, Kernel: 3})
+	g.Concat("cat", b, c)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := blocks[len(blocks)-1] // {b, c, cat}
+	bi, ci := blk.LocalIndex(b), blk.LocalIndex(c)
+	cati := blk.LocalIndex(g.NodeByName("cat"))
+	if bi < 0 || ci < 0 || cati < 0 {
+		t.Fatalf("local indices: %d %d %d", bi, ci, cati)
+	}
+	if !blk.Succs(bi).Has(cati) || !blk.Succs(ci).Has(cati) {
+		t.Error("concat missing from successor sets")
+	}
+	if !blk.Preds(cati).Has(bi) || !blk.Preds(cati).Has(ci) {
+		t.Error("concat predecessor set wrong")
+	}
+	if blk.Succs(bi).Has(ci) {
+		t.Error("spurious edge b->c")
+	}
+}
+
+// TestWidthMatchesBruteForce cross-checks the matching-based width against
+// a brute-force maximum-antichain search on random DAGs.
+func TestWidthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			for j := i + 1; j < n; j++ {
+				adj[i][j] = rng.Float64() < 0.3
+			}
+		}
+		g := New("rand")
+		in := g.Input("in", Shape{1, 4, 8, 8})
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			var srcs []*Node
+			for j := 0; j < i; j++ {
+				if adj[j][i] {
+					srcs = append(srcs, nodes[j])
+				}
+			}
+			if len(srcs) == 0 {
+				nodes[i] = g.Conv(nameI("n", i), in, ConvOpts{Out: 4, Kernel: 3})
+			} else if len(srcs) == 1 {
+				nodes[i] = g.Conv(nameI("n", i), srcs[0], ConvOpts{Out: 4, Kernel: 3})
+			} else {
+				nodes[i] = g.Add(nameI("n", i), srcs...)
+			}
+		}
+		// Some Add nodes need matching channel shapes: all convs output
+		// 4x8x8, so adds are fine.
+		got := WidthOf(g.Nodes, nodes)
+
+		// Brute force: largest subset with no path between any pair.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			copy(reach[i], adj[i])
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		want := 0
+		for mask := 1; mask < 1<<n; mask++ {
+			ok := true
+			for i := 0; i < n && ok; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				for j := 0; j < n && ok; j++ {
+					if i != j && mask&(1<<j) != 0 && reach[i][j] {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				c := 0
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						c++
+					}
+				}
+				if c > want {
+					want = c
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: width = %d, brute force = %d", trial, got, want)
+		}
+	}
+}

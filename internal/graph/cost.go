@@ -1,0 +1,78 @@
+package graph
+
+// This file accounts arithmetic work and memory traffic per operator. The
+// numbers feed the GPU simulator's roofline model and the Figure 1/2
+// reports. All counts are for float32 (4 bytes/element), matching the
+// paper's single-precision measurements.
+
+// FLOPs returns the floating-point operations performed by node n,
+// counting a fused multiply-add as two operations (the convention used by
+// the paper's "FLOPs" figures).
+func FLOPs(n *Node) float64 {
+	out := n.Output
+	switch n.Op.Kind {
+	case OpInput, OpIdentity, OpConcat:
+		return 0
+	case OpConv:
+		in := n.Inputs[0].Output
+		perOut := 2 * float64(in.C/n.Op.Groups) * float64(n.Op.KernelH) * float64(n.Op.KernelW)
+		return perOut * float64(out.Elems())
+	case OpSepConv:
+		in := n.Inputs[0].Output
+		// Input aggregation: k-way elementwise sum fused into the unit.
+		agg := float64(len(n.Inputs)-1) * float64(in.Elems())
+		// Depthwise: each output spatial position of C channels does a
+		// KxK window on its own channel; the depthwise output has the
+		// input channel count at the strided spatial size.
+		dwElems := float64(out.N) * float64(in.C) * float64(out.H) * float64(out.W)
+		dw := 2 * float64(n.Op.KernelH) * float64(n.Op.KernelW) * dwElems
+		// Pointwise: 1x1 dense over in.C -> OutChannels.
+		pw := 2 * float64(in.C) * float64(out.Elems())
+		return agg + dw + pw
+	case OpPool:
+		return float64(n.Op.KernelH) * float64(n.Op.KernelW) * float64(out.Elems())
+	case OpGlobalPool:
+		in := n.Inputs[0].Output
+		return float64(in.Elems())
+	case OpMatmul:
+		in := n.Inputs[0].Output
+		return 2 * float64(in.C) * float64(out.Elems())
+	case OpAdd:
+		return float64(len(n.Inputs)-1) * float64(out.Elems())
+	case OpReLU:
+		return float64(out.Elems())
+	default:
+		return 0
+	}
+}
+
+// WeightBytes returns the parameter storage read by node n (float32).
+func WeightBytes(n *Node) float64 {
+	switch n.Op.Kind {
+	case OpConv:
+		in := n.Inputs[0].Output
+		return 4 * float64(n.Op.OutChannels) * float64(in.C/n.Op.Groups) *
+			float64(n.Op.KernelH) * float64(n.Op.KernelW)
+	case OpSepConv:
+		in := n.Inputs[0].Output
+		dw := float64(in.C) * float64(n.Op.KernelH) * float64(n.Op.KernelW)
+		pw := float64(in.C) * float64(n.Op.OutChannels)
+		return 4 * (dw + pw)
+	case OpMatmul:
+		in := n.Inputs[0].Output
+		return 4 * float64(in.C) * float64(n.Op.OutFeatures)
+	default:
+		return 0
+	}
+}
+
+// MemoryBytes returns the total DRAM traffic of node n under the simple
+// "read every input once, read weights once, write the output once" model
+// that cuDNN-style direct/implicit-GEMM kernels approximate.
+func MemoryBytes(n *Node) float64 {
+	var in float64
+	for _, p := range n.Inputs {
+		in += float64(p.Output.Bytes())
+	}
+	return in + WeightBytes(n) + float64(n.Output.Bytes())
+}

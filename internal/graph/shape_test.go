@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElemsAndBytes(t *testing.T) {
+	s := Shape{N: 2, C: 3, H: 4, W: 5}
+	if s.Elems() != 120 {
+		t.Errorf("Elems = %d", s.Elems())
+	}
+	if s.Bytes() != 480 {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+	if got := s.WithBatch(7); got.N != 7 || got.C != 3 {
+		t.Errorf("WithBatch = %v", got)
+	}
+	if s.String() != "2x3x4x5" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestOutputShapeErrors(t *testing.T) {
+	in := Shape{N: 1, C: 4, H: 8, W: 8}
+	cases := []struct {
+		name   string
+		op     Op
+		inputs []Shape
+	}{
+		{"conv no input", Op{Kind: OpConv, OutChannels: 4, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, Groups: 1}, nil},
+		{"conv zero groups", Op{Kind: OpConv, OutChannels: 4, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1}, []Shape{in}},
+		{"conv indivisible groups", Op{Kind: OpConv, OutChannels: 4, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1, Groups: 3}, []Shape{in}},
+		{"conv kernel too large", Op{Kind: OpConv, OutChannels: 4, KernelH: 9, KernelW: 9, StrideH: 1, StrideW: 1, Groups: 1}, []Shape{in}},
+		{"pool too large", Op{Kind: OpPool, KernelH: 9, KernelW: 9, StrideH: 1, StrideW: 1}, []Shape{in}},
+		{"concat empty", Op{Kind: OpConcat}, nil},
+		{"concat mismatch", Op{Kind: OpConcat}, []Shape{in, {N: 1, C: 4, H: 4, W: 4}}},
+		{"add mismatch", Op{Kind: OpAdd}, []Shape{in, {N: 1, C: 8, H: 8, W: 8}}},
+		{"relu two inputs", Op{Kind: OpReLU}, []Shape{in, in}},
+		{"matmul two inputs", Op{Kind: OpMatmul, OutFeatures: 4}, []Shape{in, in}},
+		{"sepconv agg mismatch", Op{Kind: OpSepConv, OutChannels: 4, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1}, []Shape{in, {N: 1, C: 4, H: 4, W: 4}}},
+		{"input node", Op{Kind: OpInput}, nil},
+		{"unknown kind", Op{Kind: OpKind(99)}, []Shape{in}},
+	}
+	for _, c := range cases {
+		if _, err := outputShape(c.op, c.inputs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{OpInput, OpConv, OpSepConv, OpPool, OpMatmul, OpConcat, OpAdd, OpReLU, OpIdentity, OpGlobalPool}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(OpKind(42).String(), "opkind(") {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+// Property: FLOPs and activation memory scale linearly in batch size for
+// every operator kind the zoo uses.
+func TestQuickBatchLinearity(t *testing.T) {
+	build := func(batch int) *Graph {
+		g := New("lin")
+		in := g.Input("in", Shape{N: batch, C: 8, H: 16, W: 16})
+		c := g.Conv("c", in, ConvOpts{Out: 8, Kernel: 3})
+		s := g.SepConv("s", in, ConvOpts{Out: 8, Kernel: 3})
+		g.Add("a", c, s)
+		g.Pool("p", c, PoolOpts{Kernel: 2, Stride: 2})
+		g.Matmul("m", g.GlobalPool("gp", s), 10)
+		return g
+	}
+	err := quick.Check(func(raw uint8) bool {
+		batch := 1 + int(raw%16)
+		g1, gb := build(1), build(batch)
+		for i := range g1.Nodes {
+			if g1.Nodes[i].Op.Kind == OpInput {
+				continue
+			}
+			f1, fb := FLOPs(g1.Nodes[i]), FLOPs(gb.Nodes[i])
+			if fb != float64(batch)*f1 {
+				return false
+			}
+			if gb.Nodes[i].Output.Elems() != int64(batch)*g1.Nodes[i].Output.Elems() {
+				return false
+			}
+			// Weights are batch-invariant.
+			if WeightBytes(g1.Nodes[i]) != WeightBytes(gb.Nodes[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: width is monotone — removing nodes never increases it beyond
+// the original, and always stays within [1, n].
+func TestQuickWidthBounds(t *testing.T) {
+	g := New("w")
+	in := g.Input("in", Shape{N: 1, C: 4, H: 8, W: 8})
+	var nodes []*Node
+	for i := 0; i < 8; i++ {
+		var src *Node = in
+		if i >= 2 {
+			src = nodes[i-2]
+		}
+		nodes = append(nodes, g.Conv("n"+string(rune('a'+i)), src, ConvOpts{Out: 4, Kernel: 3}))
+	}
+	full := WidthOf(g.Nodes, nodes)
+	if full < 1 || full > len(nodes) {
+		t.Fatalf("width out of range: %d", full)
+	}
+	err := quick.Check(func(mask uint8) bool {
+		var sub []*Node
+		for i, n := range nodes {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, n)
+			}
+		}
+		if len(sub) == 0 {
+			return true
+		}
+		w := WidthOf(g.Nodes, sub)
+		return w >= 1 && w <= len(sub)
+	}, &quick.Config{MaxCount: 64})
+	if err != nil {
+		t.Error(err)
+	}
+}

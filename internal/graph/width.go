@@ -1,0 +1,100 @@
+package graph
+
+// Width computation via Dilworth's theorem (Appendix A of the paper).
+//
+// The width d of a DAG is the size of its largest antichain: the maximum
+// number of operators with no path connecting any pair. By Dilworth's
+// theorem this equals the minimum number of chains covering the poset
+// induced by reachability, and the minimum chain cover of a DAG with n
+// nodes equals n - M where M is a maximum matching in the bipartite graph
+// whose left/right copies of the nodes are joined for every pair (u, v)
+// with a path u->v in the DAG (the transitive closure).
+//
+// Time complexity is at most O(n^3) with the augmenting-path matcher below;
+// paper blocks have n <= ~33, so this is instant and exact.
+
+// WidthOf returns the width of the sub-DAG induced by the given nodes.
+// Edges are those of the enclosing graph restricted to the subset, plus all
+// transitive connections within the subset that pass through nodes outside
+// it (reachability is computed on the full graph and then restricted, which
+// matches the partial order the paper's Definition 1 uses).
+func WidthOf(all []*Node, subset []*Node) int {
+	n := len(subset)
+	if n <= 1 {
+		return n
+	}
+	idx := make(map[int]int, n) // graph node ID -> subset index
+	for i, node := range subset {
+		idx[node.ID] = i
+	}
+
+	// reach[i] holds, for subset node i, which subset nodes are reachable
+	// from it in the full graph. Computed by a reverse sweep over the full
+	// graph in topological order using per-node bitsets over the subset.
+	maxID := 0
+	for _, node := range all {
+		if node.ID > maxID {
+			maxID = node.ID
+		}
+	}
+	words := (n + 63) / 64
+	reach := make([][]uint64, maxID+1)
+	for i := len(all) - 1; i >= 0; i-- {
+		node := all[i]
+		bits := make([]uint64, words)
+		for _, c := range node.Outputs() {
+			if c.ID >= len(reach) || reach[c.ID] == nil {
+				continue
+			}
+			for w := range bits {
+				bits[w] |= reach[c.ID][w]
+			}
+			if j, ok := idx[c.ID]; ok {
+				bits[j/64] |= 1 << uint(j%64)
+			}
+		}
+		reach[node.ID] = bits
+	}
+
+	// Bipartite matching on the closure restricted to the subset.
+	matchR := make([]int, n)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	adj := make([][]int, n)
+	for i, node := range subset {
+		bits := reach[node.ID]
+		for j := 0; j < n; j++ {
+			if bits[j/64]&(1<<uint(j%64)) != 0 {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchR[v] == -1 || try(matchR[v], seen) {
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		if try(u, seen) {
+			matched++
+		}
+	}
+	return n - matched
+}
+
+// Width returns the width of the whole graph's schedulable nodes.
+func (g *Graph) Width() int {
+	return WidthOf(g.Nodes, g.SchedulableNodes())
+}

@@ -1,0 +1,76 @@
+package models
+
+import "ios/internal/graph"
+
+// Figure2Block builds the example computation graph of the paper's
+// Figure 2: an input with 384 channels feeding convolutions a (3×3×384),
+// c (3×3×384), d (3×3×768) directly, b (3×3×768) consuming a's output, and
+// a concat of b, c, d (1920 channels). Spatial size 15×15 makes conv a
+// ≈0.6 GFLOPs and conv d ≈1.2 GFLOPs, matching the figure's annotations.
+//
+// The sequential schedule runs a, b, c, d one by one; the greedy schedule
+// runs {a, c, d} then {b}; IOS finds {a, d} then {b, c}, balancing the two
+// stages' work.
+func Figure2Block(batch int) *graph.Graph {
+	g := graph.New("Figure-2 block")
+	in := g.Input("input", graph.Shape{N: batch, C: 384, H: 15, W: 15})
+	a := g.Conv("a", in, graph.ConvOpts{Out: 384, Kernel: 3})
+	b := g.Conv("b", a, graph.ConvOpts{Out: 768, Kernel: 3})
+	c := g.Conv("c", in, graph.ConvOpts{Out: 384, Kernel: 3})
+	d := g.Conv("d", in, graph.ConvOpts{Out: 768, Kernel: 3})
+	g.Concat("concat", b, c, d)
+	return g
+}
+
+// Figure5Toy builds the three-operator graph of Figure 5: a is followed by
+// b, and c is independent of both. The DP walkthrough in the paper's
+// Figure 5 enumerates this graph's six states.
+func Figure5Toy(batch int) *graph.Graph {
+	g := graph.New("Figure-5 toy")
+	in := g.Input("input", graph.Shape{N: batch, C: 64, H: 28, W: 28})
+	a := g.Conv("a", in, graph.ConvOpts{Out: 64, Kernel: 3})
+	g.Conv("b", a, graph.ConvOpts{Out: 64, Kernel: 3})
+	g.Conv("c", in, graph.ConvOpts{Out: 64, Kernel: 3})
+	return g
+}
+
+// Builder constructs a benchmark network at a batch size.
+type Builder func(batch int) *graph.Graph
+
+// Benchmarks lists the paper's four benchmark CNNs (Table 2) in its
+// reporting order.
+func Benchmarks() []Builder {
+	return []Builder{InceptionV3, RandWire, NasNetA, SqueezeNet}
+}
+
+// BenchmarkNames returns the display names in the same order as
+// Benchmarks.
+func BenchmarkNames() []string {
+	return []string{"Inception V3", "RandWire", "NasNet", "SqueezeNet"}
+}
+
+// Figure13Chains builds the Appendix A worst-case graph: d independent
+// chains of c operators each (Figure 13). For this family the number of
+// DP transitions #(S, S') meets the theoretical bound C(c+2, 2)^d exactly,
+// which Appendix A uses to show the complexity analysis is tight.
+func Figure13Chains(c, d int) *graph.Graph {
+	g := graph.New("Figure-13 chains")
+	in := g.Input("input", graph.Shape{N: 1, C: 8, H: 8, W: 8})
+	g.CutBlock()
+	ends := make([]*graph.Node, d)
+	for j := 0; j < d; j++ {
+		x := in
+		for i := 0; i < c; i++ {
+			x = g.Conv(chainName(i, j), x, graph.ConvOpts{Out: 8, Kernel: 3})
+		}
+		ends[j] = x
+	}
+	if d > 1 {
+		g.Concat("sink", ends...)
+	}
+	return g
+}
+
+func chainName(i, j int) string {
+	return "n" + string(rune('a'+j)) + "_" + string(rune('0'+i))
+}

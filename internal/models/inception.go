@@ -1,0 +1,132 @@
+// Package models builds the paper's benchmark networks (Table 2) plus the
+// auxiliary graphs its figures use: Inception V3, SqueezeNet (with bypass),
+// NasNet-A, RandWire, ResNet-34/50, VGG-16, the Figure 2 example block and
+// the Figure 5 toy graph. All builders take a batch size and produce
+// shape-checked graphs on the graph IR.
+package models
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// InceptionV3 builds Inception V3 (Szegedy et al., 2016) at 299×299 input:
+// the stem, 3 Inception-A blocks, 1 grid reduction, 4 Inception-C blocks,
+// 1 grid reduction, and 2 Inception-E blocks — 11 Inception blocks total
+// as in Table 2. Operators are Conv-Relu schedule units; Inception-E is
+// the largest block (Table 1: n = 11, d = 6).
+func InceptionV3(batch int) *graph.Graph {
+	g := graph.New("Inception V3")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 299, W: 299})
+
+	// Stem.
+	x := g.Conv("stem_conv1", in, graph.ConvOpts{Out: 32, Kernel: 3, Stride: 2, Valid: true})
+	x = g.Conv("stem_conv2", x, graph.ConvOpts{Out: 32, Kernel: 3, Valid: true})
+	x = g.Conv("stem_conv3", x, graph.ConvOpts{Out: 64, Kernel: 3})
+	x = g.Pool("stem_pool1", x, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+	x = g.Conv("stem_conv4", x, graph.ConvOpts{Out: 80, Kernel: 1, Valid: true})
+	x = g.Conv("stem_conv5", x, graph.ConvOpts{Out: 192, Kernel: 3, Valid: true})
+	x = g.Pool("stem_pool2", x, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+
+	// 3x Inception-A at 35x35.
+	for i, poolF := range []int{32, 64, 64} {
+		x = inceptionA(g, fmt.Sprintf("a%d", i+1), x, poolF)
+	}
+	// Grid reduction 35 -> 17.
+	x = reductionA(g, "redA", x)
+	// 4x Inception-C at 17x17 with varying 7x7 widths.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		x = inceptionC(g, fmt.Sprintf("c%d", i+1), x, c7)
+	}
+	// Grid reduction 17 -> 8.
+	x = reductionD(g, "redD", x)
+	// 2x Inception-E at 8x8.
+	for i := 0; i < 2; i++ {
+		x = inceptionE(g, fmt.Sprintf("e%d", i+1), x)
+	}
+
+	x = g.GlobalPool("gap", x)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+// inceptionA: 1x1; 1x1->5x5; 1x1->3x3->3x3; pool->1x1; concat (9 ops).
+func inceptionA(g *graph.Graph, p string, in *graph.Node, poolF int) *graph.Node {
+	b1 := g.Conv(p+"_b1_1x1", in, graph.ConvOpts{Out: 64, Kernel: 1})
+	b2 := g.Conv(p+"_b2_1x1", in, graph.ConvOpts{Out: 48, Kernel: 1})
+	b2 = g.Conv(p+"_b2_5x5", b2, graph.ConvOpts{Out: 64, Kernel: 5})
+	b3 := g.Conv(p+"_b3_1x1", in, graph.ConvOpts{Out: 64, Kernel: 1})
+	b3 = g.Conv(p+"_b3_3x3a", b3, graph.ConvOpts{Out: 96, Kernel: 3})
+	b3 = g.Conv(p+"_b3_3x3b", b3, graph.ConvOpts{Out: 96, Kernel: 3})
+	b4 := g.Pool(p+"_b4_pool", in, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true})
+	b4 = g.Conv(p+"_b4_1x1", b4, graph.ConvOpts{Out: poolF, Kernel: 1})
+	return g.Concat(p+"_concat", b1, b2, b3, b4)
+}
+
+// reductionA: strided 3x3; 1x1->3x3->strided 3x3; strided pool; concat.
+func reductionA(g *graph.Graph, p string, in *graph.Node) *graph.Node {
+	b1 := g.Conv(p+"_b1_3x3", in, graph.ConvOpts{Out: 384, Kernel: 3, Stride: 2, Valid: true})
+	b2 := g.Conv(p+"_b2_1x1", in, graph.ConvOpts{Out: 64, Kernel: 1})
+	b2 = g.Conv(p+"_b2_3x3a", b2, graph.ConvOpts{Out: 96, Kernel: 3})
+	b2 = g.Conv(p+"_b2_3x3b", b2, graph.ConvOpts{Out: 96, Kernel: 3, Stride: 2, Valid: true})
+	b3 := g.Pool(p+"_b3_pool", in, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+	return g.Concat(p+"_concat", b1, b2, b3)
+}
+
+// inceptionC: 1x1; 1x1->1x7->7x1; 1x1->7x1->1x7->7x1->1x7; pool->1x1;
+// concat (12 ops).
+func inceptionC(g *graph.Graph, p string, in *graph.Node, c7 int) *graph.Node {
+	b1 := g.Conv(p+"_b1_1x1", in, graph.ConvOpts{Out: 192, Kernel: 1})
+	b2 := g.Conv(p+"_b2_1x1", in, graph.ConvOpts{Out: c7, Kernel: 1})
+	b2 = g.Conv(p+"_b2_1x7", b2, graph.ConvOpts{Out: c7, KernelH: 1, KernelW: 7})
+	b2 = g.Conv(p+"_b2_7x1", b2, graph.ConvOpts{Out: 192, KernelH: 7, KernelW: 1})
+	b3 := g.Conv(p+"_b3_1x1", in, graph.ConvOpts{Out: c7, Kernel: 1})
+	b3 = g.Conv(p+"_b3_7x1a", b3, graph.ConvOpts{Out: c7, KernelH: 7, KernelW: 1})
+	b3 = g.Conv(p+"_b3_1x7a", b3, graph.ConvOpts{Out: c7, KernelH: 1, KernelW: 7})
+	b3 = g.Conv(p+"_b3_7x1b", b3, graph.ConvOpts{Out: c7, KernelH: 7, KernelW: 1})
+	b3 = g.Conv(p+"_b3_1x7b", b3, graph.ConvOpts{Out: 192, KernelH: 1, KernelW: 7})
+	b4 := g.Pool(p+"_b4_pool", in, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true})
+	b4 = g.Conv(p+"_b4_1x1", b4, graph.ConvOpts{Out: 192, Kernel: 1})
+	return g.Concat(p+"_concat", b1, b2, b3, b4)
+}
+
+// reductionD: 1x1->strided 3x3; 1x1->1x7->7x1->strided 3x3; pool; concat.
+func reductionD(g *graph.Graph, p string, in *graph.Node) *graph.Node {
+	b1 := g.Conv(p+"_b1_1x1", in, graph.ConvOpts{Out: 192, Kernel: 1})
+	b1 = g.Conv(p+"_b1_3x3", b1, graph.ConvOpts{Out: 320, Kernel: 3, Stride: 2, Valid: true})
+	b2 := g.Conv(p+"_b2_1x1", in, graph.ConvOpts{Out: 192, Kernel: 1})
+	b2 = g.Conv(p+"_b2_1x7", b2, graph.ConvOpts{Out: 192, KernelH: 1, KernelW: 7})
+	b2 = g.Conv(p+"_b2_7x1", b2, graph.ConvOpts{Out: 192, KernelH: 7, KernelW: 1})
+	b2 = g.Conv(p+"_b2_3x3", b2, graph.ConvOpts{Out: 192, Kernel: 3, Stride: 2, Valid: true})
+	b3 := g.Pool(p+"_b3_pool", in, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+	return g.Concat(p+"_concat", b1, b2, b3)
+}
+
+// inceptionE: 1x1; 1x1->{1x3, 3x1}; 1x1->3x3->{1x3, 3x1}; pool->1x1;
+// concat (11 ops, width 6 — Table 1's Inception row). This is the "last
+// block of Inception V3" that Figure 10 visualizes; its 1x3/3x1 pairs are
+// the merge candidates the bs=32 schedule fuses.
+func inceptionE(g *graph.Graph, p string, in *graph.Node) *graph.Node {
+	b1 := g.Conv(p+"_b1_1x1", in, graph.ConvOpts{Out: 320, Kernel: 1})
+	b2 := g.Conv(p+"_b2_1x1", in, graph.ConvOpts{Out: 384, Kernel: 1})
+	b2a := g.Conv(p+"_b2_1x3", b2, graph.ConvOpts{Out: 384, KernelH: 1, KernelW: 3})
+	b2b := g.Conv(p+"_b2_3x1", b2, graph.ConvOpts{Out: 384, KernelH: 3, KernelW: 1})
+	b3 := g.Conv(p+"_b3_1x1", in, graph.ConvOpts{Out: 448, Kernel: 1})
+	b3 = g.Conv(p+"_b3_3x3", b3, graph.ConvOpts{Out: 384, Kernel: 3})
+	b3a := g.Conv(p+"_b3_1x3", b3, graph.ConvOpts{Out: 384, KernelH: 1, KernelW: 3})
+	b3b := g.Conv(p+"_b3_3x1", b3, graph.ConvOpts{Out: 384, KernelH: 3, KernelW: 1})
+	b4 := g.Pool(p+"_b4_pool", in, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true})
+	b4 = g.Conv(p+"_b4_1x1", b4, graph.ConvOpts{Out: 192, Kernel: 1})
+	return g.Concat(p+"_concat", b1, b2a, b2b, b3a, b3b, b4)
+}
+
+// InceptionE builds a standalone graph containing only the last Inception
+// block at its network shape (8×8×1280 input), for the Figure 10
+// specialization study.
+func InceptionE(batch int) *graph.Graph {
+	g := graph.New("Inception-E block")
+	in := g.Input("input", graph.Shape{N: batch, C: 1280, H: 8, W: 8})
+	inceptionE(g, "e", in)
+	return g
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// Lightweight mobile architectures from the paper's related-work section
+// (Section 2: "SqueezeNet, MobileNet and ShuffleNet ... such design
+// patterns cannot fully utilize the hardware"). They are dominated by
+// separable convolutions with tiny arithmetic intensity, so they
+// under-utilize big GPUs even more than the main benchmarks; the
+// `lightweight` extension experiment quantifies what inter-operator
+// scheduling recovers on them.
+
+// MobileNetV2 builds MobileNetV2 (Sandler et al., 2018) at 224×224:
+// inverted residual blocks (pointwise expand, depthwise 3×3, pointwise
+// project) with residual adds on stride-1 blocks.
+func MobileNetV2(batch int) *graph.Graph {
+	g := graph.New("MobileNetV2")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+	x := g.Conv("stem_conv", in, graph.ConvOpts{Out: 32, Kernel: 3, Stride: 2})
+
+	// (expansion t, out channels c, repeats n, stride s) per the paper.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			blk++
+			x = invertedResidual(g, fmt.Sprintf("ir%d", blk), x, c.t, c.c, stride)
+		}
+	}
+	x = g.Conv("head_conv", x, graph.ConvOpts{Out: 1280, Kernel: 1})
+	x = g.GlobalPool("gap", x)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+// invertedResidual builds one MobileNetV2 block. The depthwise stage is a
+// grouped convolution with groups == channels.
+func invertedResidual(g *graph.Graph, p string, in *graph.Node, expand, out, stride int) *graph.Node {
+	mid := in.Output.C * expand
+	x := in
+	if expand != 1 {
+		x = g.Conv(p+"_expand", x, graph.ConvOpts{Out: mid, Kernel: 1})
+	}
+	x = g.Conv(p+"_dw", x, graph.ConvOpts{Out: mid, Kernel: 3, Stride: stride, Groups: mid})
+	x = g.Conv(p+"_project", x, graph.ConvOpts{Out: out, Kernel: 1, NoAct: true})
+	if stride == 1 && in.Output.C == out {
+		return g.Add(p+"_add", x, in)
+	}
+	return x
+}
+
+// ShuffleNet builds a ShuffleNet-v1-style network (Zhang et al., 2018) at
+// 224×224 with grouped 1×1 convolutions and depthwise 3×3 stages. The
+// channel shuffle is a free layout permutation on real hardware and is
+// represented by an identity unit.
+func ShuffleNet(batch int) *graph.Graph {
+	g := graph.New("ShuffleNet")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+	x := g.Conv("stem_conv", in, graph.ConvOpts{Out: 24, Kernel: 3, Stride: 2})
+	x = g.Pool("stem_pool", x, graph.PoolOpts{Kernel: 3, Stride: 2})
+
+	const groups = 4
+	stageOut := []int{272, 544, 1088}
+	repeats := []int{3, 7, 3}
+	for si, out := range stageOut {
+		x = shuffleUnit(g, fmt.Sprintf("s%d_d", si+1), x, out, groups, true)
+		for i := 0; i < repeats[si]; i++ {
+			x = shuffleUnit(g, fmt.Sprintf("s%d_u%d", si+1, i+1), x, out, groups, false)
+		}
+	}
+	x = g.GlobalPool("gap", x)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+// shuffleUnit builds one ShuffleNet unit: grouped 1×1 -> shuffle ->
+// depthwise 3×3 -> grouped 1×1, with a residual add (stride 1) or an
+// avg-pool shortcut concatenated (stride 2 / downsample).
+func shuffleUnit(g *graph.Graph, p string, in *graph.Node, out, groups int, down bool) *graph.Node {
+	mid := out / 4
+	// Keep grouped-conv divisibility.
+	mid = (mid / groups) * groups
+	if mid == 0 {
+		mid = groups
+	}
+	branchOut := out
+	stride := 1
+	if down {
+		stride = 2
+		branchOut = out - in.Output.C // concat shortcut fills the rest
+	}
+	gIn := groups
+	if in.Output.C%groups != 0 {
+		gIn = 1 // the stem's 24 channels only divide small group counts
+	}
+	x := g.Conv(p+"_gconv1", in, graph.ConvOpts{Out: mid, Kernel: 1, Groups: gIn})
+	x = g.Identity(p+"_shuffle", x)
+	x = g.Conv(p+"_dw", x, graph.ConvOpts{Out: mid, Kernel: 3, Stride: stride, Groups: mid, NoAct: true})
+	x = g.Conv(p+"_gconv2", x, graph.ConvOpts{Out: branchOut, Kernel: 1, Groups: groups, NoAct: true})
+	if down {
+		short := g.Pool(p+"_shortcut", in, graph.PoolOpts{Kernel: 3, Stride: 2, Avg: true})
+		return g.Concat(p+"_concat", x, short)
+	}
+	return g.Add(p+"_add", x, in)
+}

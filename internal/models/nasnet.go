@@ -1,0 +1,130 @@
+package models
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// NasNetA builds a NASNet-A network (Zoph et al., 2018) with 13 cells
+// (4 normal + reduction + 4 normal + reduction + 3 normal), the paper's
+// block count for NasNet in Table 2. Each cell is one IOS block (declared
+// with CutBlock, since cells consume the outputs of the two previous cells
+// and therefore cannot be found by the automatic single-producer cut).
+// Separable convolutions are applied twice as in the original architecture,
+// and identity branch inputs are wired directly into the combiner adds, so
+// a normal cell has 21 Relu-SepConv/pool/add/concat units with width 8
+// (Table 1 reports n = 18, d = 8 for the authors' op granularity; the
+// width — which drives the DP complexity — matches exactly).
+func NasNetA(batch int) *graph.Graph {
+	g := graph.New("NasNet")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	// Stem: strided conv to 56x56 so cell tensors stay moderate.
+	x := g.Conv("stem_conv", in, graph.ConvOpts{Out: 96, Kernel: 3, Stride: 2, NoAct: true})
+	x = g.Pool("stem_pool", x, graph.PoolOpts{Kernel: 3, Stride: 2})
+
+	filters := 128
+	prev, cur := x, x
+	cell := 0
+	normal := func() {
+		g.CutBlock()
+		out := nasnetNormalCell(g, fmt.Sprintf("cell%d", cell), prev, cur, filters)
+		prev, cur = cur, out
+		cell++
+	}
+	reduce := func() {
+		g.CutBlock()
+		filters *= 2
+		out := nasnetReductionCell(g, fmt.Sprintf("cell%d", cell), prev, cur, filters)
+		prev, cur = cur, out
+		cell++
+	}
+	for i := 0; i < 4; i++ {
+		normal()
+	}
+	reduce()
+	for i := 0; i < 4; i++ {
+		normal()
+	}
+	reduce()
+	for i := 0; i < 3; i++ {
+		normal()
+	}
+
+	g.CutBlock()
+	x = g.GlobalPool("gap", cur)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+// adjust projects a cell input to the cell's filter count (and spatial
+// size, when the input comes from before a reduction) with a 1x1 conv.
+func adjust(g *graph.Graph, name string, n *graph.Node, filters, targetHW int) *graph.Node {
+	stride := 1
+	if n.Output.H > targetHW {
+		stride = n.Output.H / targetHW
+	}
+	return g.Conv(name, n, graph.ConvOpts{Out: filters, Kernel: 1, Stride: stride})
+}
+
+// sep2 applies the NASNet doubled separable convolution: stride applies to
+// the first application only.
+func sep2(g *graph.Graph, name string, in *graph.Node, filters, kernel, stride int) *graph.Node {
+	a := g.SepConv(name+"a", in, graph.ConvOpts{Out: filters, Kernel: kernel, Stride: stride})
+	return g.SepConv(name+"b", a, graph.ConvOpts{Out: filters, Kernel: kernel})
+}
+
+// nasnetNormalCell builds the NASNet-A normal cell: five combiner blocks
+// over the adjusted inputs h (cur) and h-1 (prev), concatenated.
+func nasnetNormalCell(g *graph.Graph, p string, prev, cur *graph.Node, filters int) *graph.Node {
+	h := adjust(g, p+"_adj_h", cur, filters, cur.Output.H)
+	hp := adjust(g, p+"_adj_p", prev, filters, cur.Output.H)
+
+	// b1: sep3x3(h) + h
+	b1 := g.Add(p+"_b1", sep2(g, p+"_b1_sep3_", h, filters, 3, 1), h)
+	// b2: sep3x3(h-1) + sep5x5(h)
+	b2 := g.Add(p+"_b2",
+		sep2(g, p+"_b2_sep3_", hp, filters, 3, 1),
+		sep2(g, p+"_b2_sep5_", h, filters, 5, 1))
+	// b3: avg3x3(h) + h-1
+	b3 := g.Add(p+"_b3",
+		g.Pool(p+"_b3_avg", h, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true}), hp)
+	// b4: avg3x3(h-1) + avg3x3(h-1)
+	b4 := g.Add(p+"_b4",
+		g.Pool(p+"_b4_avg1", hp, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true}),
+		g.Pool(p+"_b4_avg2", hp, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true}))
+	// b5: sep5x5(h-1) + sep3x3(h-1)
+	b5 := g.Add(p+"_b5",
+		sep2(g, p+"_b5_sep5_", hp, filters, 5, 1),
+		sep2(g, p+"_b5_sep3_", hp, filters, 3, 1))
+	return g.Concat(p+"_concat", b1, b2, b3, b4, b5)
+}
+
+// nasnetReductionCell builds the NASNet-A reduction cell (stride-2
+// branches halving the spatial size).
+func nasnetReductionCell(g *graph.Graph, p string, prev, cur *graph.Node, filters int) *graph.Node {
+	h := adjust(g, p+"_adj_h", cur, filters, cur.Output.H)
+	hp := adjust(g, p+"_adj_p", prev, filters, cur.Output.H)
+
+	// b1: sep7x7(h-1, /2) + sep5x5(h, /2)
+	b1 := g.Add(p+"_b1",
+		sep2(g, p+"_b1_sep7_", hp, filters, 7, 2),
+		sep2(g, p+"_b1_sep5_", h, filters, 5, 2))
+	// b2: maxpool3x3/2(h) + sep7x7(h-1, /2)
+	b2 := g.Add(p+"_b2",
+		g.Pool(p+"_b2_max", h, graph.PoolOpts{Kernel: 3, Stride: 2}),
+		sep2(g, p+"_b2_sep7_", hp, filters, 7, 2))
+	// b3: avgpool3x3/2(h) + sep5x5(h-1, /2)
+	b3 := g.Add(p+"_b3",
+		g.Pool(p+"_b3_avg", h, graph.PoolOpts{Kernel: 3, Stride: 2, Avg: true}),
+		sep2(g, p+"_b3_sep5_", hp, filters, 5, 2))
+	// b4: maxpool3x3/2(h) + sep3x3(b1)
+	b4 := g.Add(p+"_b4",
+		g.Pool(p+"_b4_max", h, graph.PoolOpts{Kernel: 3, Stride: 2}),
+		sep2(g, p+"_b4_sep3_", b1, filters, 3, 1))
+	// b5: avgpool3x3(b1) + b2
+	b5 := g.Add(p+"_b5",
+		g.Pool(p+"_b5_avg", b1, graph.PoolOpts{Kernel: 3, Stride: 1, Avg: true}), b2)
+	return g.Concat(p+"_concat", b3, b4, b5)
+}

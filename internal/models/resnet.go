@@ -1,0 +1,102 @@
+package models
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// ResNet34 builds ResNet-34 (He et al., 2016) at 224×224. The paper uses
+// ResNet to illustrate networks with little inter-operator parallelism
+// (Section 5: only the downsample convolutions can run in parallel,
+// yielding 2-5% speedup); the reproduction includes it for that
+// experiment.
+func ResNet34(batch int) *graph.Graph {
+	g := graph.New("ResNet-34")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+	x := g.Conv("stem_conv", in, graph.ConvOpts{Out: 64, Kernel: 7, Stride: 2})
+	x = g.Pool("stem_pool", x, graph.PoolOpts{Kernel: 3, Stride: 2})
+	cfg := []struct{ blocks, channels, stride int }{
+		{3, 64, 1}, {4, 128, 2}, {6, 256, 2}, {3, 512, 2},
+	}
+	for si, c := range cfg {
+		for b := 0; b < c.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = c.stride
+			}
+			x = basicBlock(g, fmt.Sprintf("s%d_b%d", si+1, b+1), x, c.channels, stride)
+		}
+	}
+	x = g.GlobalPool("gap", x)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+// ResNet50 builds ResNet-50 with bottleneck blocks.
+func ResNet50(batch int) *graph.Graph {
+	g := graph.New("ResNet-50")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+	x := g.Conv("stem_conv", in, graph.ConvOpts{Out: 64, Kernel: 7, Stride: 2})
+	x = g.Pool("stem_pool", x, graph.PoolOpts{Kernel: 3, Stride: 2})
+	cfg := []struct{ blocks, channels, stride int }{
+		{3, 64, 1}, {4, 128, 2}, {6, 256, 2}, {3, 512, 2},
+	}
+	for si, c := range cfg {
+		for b := 0; b < c.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = c.stride
+			}
+			x = bottleneckBlock(g, fmt.Sprintf("s%d_b%d", si+1, b+1), x, c.channels, stride)
+		}
+	}
+	x = g.GlobalPool("gap", x)
+	g.Matmul("fc", x, 1000)
+	return g
+}
+
+func basicBlock(g *graph.Graph, p string, in *graph.Node, channels, stride int) *graph.Node {
+	x := g.Conv(p+"_conv1", in, graph.ConvOpts{Out: channels, Kernel: 3, Stride: stride})
+	x = g.Conv(p+"_conv2", x, graph.ConvOpts{Out: channels, Kernel: 3, NoAct: true})
+	short := in
+	if stride != 1 || in.Output.C != channels {
+		short = g.Conv(p+"_down", in, graph.ConvOpts{Out: channels, Kernel: 1, Stride: stride, NoAct: true})
+	}
+	return g.Add(p+"_add", x, short)
+}
+
+func bottleneckBlock(g *graph.Graph, p string, in *graph.Node, channels, stride int) *graph.Node {
+	out := channels * 4
+	x := g.Conv(p+"_conv1", in, graph.ConvOpts{Out: channels, Kernel: 1})
+	x = g.Conv(p+"_conv2", x, graph.ConvOpts{Out: channels, Kernel: 3, Stride: stride})
+	x = g.Conv(p+"_conv3", x, graph.ConvOpts{Out: out, Kernel: 1, NoAct: true})
+	short := in
+	if stride != 1 || in.Output.C != out {
+		short = g.Conv(p+"_down", in, graph.ConvOpts{Out: out, Kernel: 1, Stride: stride, NoAct: true})
+	}
+	return g.Add(p+"_add", x, short)
+}
+
+// VGG16 builds VGG-16 (224×224), used only for the Figure 1 trend numbers
+// (average FLOPs per convolution of a 2013-era network).
+func VGG16(batch int) *graph.Graph {
+	g := graph.New("VGG-16")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+	x := in
+	conv := 0
+	for si, c := range []struct{ blocks, channels int }{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	} {
+		for b := 0; b < c.blocks; b++ {
+			conv++
+			x = g.Conv(fmt.Sprintf("conv%d_%d", si+1, b+1), x, graph.ConvOpts{Out: c.channels, Kernel: 3})
+		}
+		x = g.Pool(fmt.Sprintf("pool%d", si+1), x, graph.PoolOpts{Kernel: 2, Stride: 2})
+	}
+	x = g.GlobalPool("gap", x)
+	x = g.Matmul("fc1", x, 4096)
+	x = g.Matmul("fc2", x, 4096)
+	g.Matmul("fc3", x, 1000)
+	return g
+}

@@ -1,0 +1,57 @@
+package models
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// SqueezeNet builds SqueezeNet v1.0 with bypass connections (Iandola et
+// al., 2016) at 224×224: conv1, three max-pools, eight Fire modules, and
+// the conv10 head. Fire modules alternate complex bypass (a 1×1 bypass
+// convolution where channel counts change: fire2/4/6/8) and simple bypass
+// (identity residual: fire3/5/7/9), which yields the paper's 50 schedule
+// units with a largest block of n = 6, d = 3 (squeeze, expand1x1,
+// expand3x3, bypass conv, concat, add).
+func SqueezeNet(batch int) *graph.Graph {
+	g := graph.New("SqueezeNet")
+	in := g.Input("input", graph.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	x := g.Conv("conv1", in, graph.ConvOpts{Out: 96, Kernel: 7, Stride: 2})
+	x = g.Pool("pool1", x, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+
+	x = fire(g, "fire2", x, 16, 64, 64, true)
+	x = fire(g, "fire3", x, 16, 64, 64, false)
+	x = fire(g, "fire4", x, 32, 128, 128, true)
+	x = g.Pool("pool4", x, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+	x = fire(g, "fire5", x, 32, 128, 128, false)
+	x = fire(g, "fire6", x, 48, 192, 192, true)
+	x = fire(g, "fire7", x, 48, 192, 192, false)
+	x = fire(g, "fire8", x, 64, 256, 256, true)
+	x = g.Pool("pool8", x, graph.PoolOpts{Kernel: 3, Stride: 2, Valid: true})
+	x = fire(g, "fire9", x, 64, 256, 256, false)
+
+	x = g.Conv("conv10", x, graph.ConvOpts{Out: 1000, Kernel: 1})
+	g.GlobalPool("gap", x)
+	return g
+}
+
+// fire builds one Fire module: squeeze 1×1 -> {expand 1×1, expand 3×3} ->
+// concat, plus a bypass (complex: extra 1×1 conv; simple: identity) summed
+// into the output.
+func fire(g *graph.Graph, p string, in *graph.Node, squeeze, e1, e3 int, complexBypass bool) *graph.Node {
+	sq := g.Conv(p+"_squeeze", in, graph.ConvOpts{Out: squeeze, Kernel: 1})
+	x1 := g.Conv(p+"_expand1", sq, graph.ConvOpts{Out: e1, Kernel: 1})
+	x3 := g.Conv(p+"_expand3", sq, graph.ConvOpts{Out: e3, Kernel: 3})
+	cat := g.Concat(p+"_concat", x1, x3)
+	var bypass *graph.Node
+	if complexBypass {
+		bypass = g.Conv(p+"_bypass", in, graph.ConvOpts{Out: e1 + e3, Kernel: 1, NoAct: true})
+	} else {
+		if in.Output.C != e1+e3 {
+			panic(fmt.Sprintf("models: %s simple bypass needs matching channels (%d vs %d)", p, in.Output.C, e1+e3))
+		}
+		bypass = in
+	}
+	return g.Add(p+"_add", cat, bypass)
+}

@@ -1,0 +1,189 @@
+// Package report renders experiment results as aligned text tables and
+// normalized-throughput bar charts, the textual analogues of the paper's
+// figures. All rendering is deterministic so outputs can be diffed across
+// runs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat picks a compact representation: scientific for very large or
+// tiny magnitudes, fixed otherwise.
+func formatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// BarChart renders grouped normalized bars, the textual form of the
+// paper's normalized-throughput figures: per group (network), each series
+// (schedule/framework) is shown relative to the group's best.
+type BarChart struct {
+	Title  string
+	Series []string
+	groups []barGroup
+	// width is the character width of a full bar.
+	width int
+}
+
+type barGroup struct {
+	name   string
+	values []float64
+}
+
+// NewBarChart creates a chart for the given series names.
+func NewBarChart(title string, series ...string) *BarChart {
+	return &BarChart{Title: title, Series: series, width: 40}
+}
+
+// AddGroup appends one group (e.g. one network) with a value per series.
+// Values are throughputs (higher = better); NaN marks a missing entry
+// (e.g. TASO out-of-memory at batch 128).
+func (c *BarChart) AddGroup(name string, values ...float64) {
+	if len(values) != len(c.Series) {
+		panic(fmt.Sprintf("report: group %q has %d values, want %d", name, len(values), len(c.Series)))
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	c.groups = append(c.groups, barGroup{name: name, values: vals})
+}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", c.Title)
+	}
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	for _, g := range c.groups {
+		best := 0.0
+		for _, v := range g.values {
+			if !math.IsNaN(v) && v > best {
+				best = v
+			}
+		}
+		fmt.Fprintf(w, "%s\n", g.name)
+		for i, s := range c.Series {
+			v := g.values[i]
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, "  %-*s  %s\n", nameW, s, "n/a")
+				continue
+			}
+			norm := 0.0
+			if best > 0 {
+				norm = v / best
+			}
+			bars := int(norm*float64(c.width) + 0.5)
+			fmt.Fprintf(w, "  %-*s  %s %.3f\n", nameW, s, strings.Repeat("#", bars), norm)
+		}
+	}
+}
+
+// String renders to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of positive values, ignoring NaNs.
+func GeoMean(values []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range values {
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / float64(n))
+}

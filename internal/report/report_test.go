@@ -1,0 +1,70 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 123456789.0)
+	tb.AddRow("gamma", 0.000001)
+	out := tb.String()
+	for _, want := range []string{"demo", "name", "value", "alpha", "1.500", "1.23e+08", "1.00e-06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestBarChartNormalization(t *testing.T) {
+	c := NewBarChart("chart", "A", "B")
+	c.AddGroup("g1", 100, 50)
+	out := c.String()
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.500") {
+		t.Errorf("chart missing normalized values:\n%s", out)
+	}
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "chart") {
+		t.Errorf("chart missing labels:\n%s", out)
+	}
+}
+
+func TestBarChartNaN(t *testing.T) {
+	c := NewBarChart("chart", "A", "B")
+	c.AddGroup("g", math.NaN(), 10)
+	out := c.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("NaN not rendered as n/a:\n%s", out)
+	}
+}
+
+func TestBarChartPanicsOnArityMismatch(t *testing.T) {
+	c := NewBarChart("chart", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch not caught")
+		}
+	}()
+	c.AddGroup("g", 1)
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{4, 9}); math.Abs(g-6) > 1e-12 {
+		t.Errorf("GeoMean(4,9) = %g", g)
+	}
+	if g := GeoMean([]float64{2, math.NaN(), 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean with NaN = %g", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{-1, 0})) {
+		t.Error("GeoMean of nonpositives should be NaN")
+	}
+}

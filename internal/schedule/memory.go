@@ -1,0 +1,70 @@
+package schedule
+
+import "ios/internal/graph"
+
+// Activation-memory accounting for a schedule. A tensor is resident from
+// the stage that produces it until the last stage that consumes it; model
+// weights are resident for the whole run. The peak across stages is the
+// device memory a runtime needs (ignoring allocator fragmentation and
+// workspace), which is what runs out for TASO at batch 128 in the paper's
+// Figure 11.
+
+// MemoryProfile summarizes a schedule's memory behaviour.
+type MemoryProfile struct {
+	// WeightBytes is the total parameter storage.
+	WeightBytes float64
+	// PeakActivationBytes is the largest sum of live activation tensors
+	// across stages (inputs included while still needed).
+	PeakActivationBytes float64
+	// PeakStage is the 0-based stage index at which the peak occurs.
+	PeakStage int
+}
+
+// Total returns weights plus peak activations.
+func (m MemoryProfile) Total() float64 { return m.WeightBytes + m.PeakActivationBytes }
+
+// Memory computes the schedule's memory profile.
+func Memory(s *Schedule) MemoryProfile {
+	var prof MemoryProfile
+	stageOf := make(map[*graph.Node]int)
+	for si, st := range s.Stages {
+		for _, n := range st.Ops() {
+			stageOf[n] = si
+		}
+	}
+	// Producer stage for inputs is "before stage 0".
+	prodStage := func(n *graph.Node) int {
+		if n.Op.Kind == graph.OpInput {
+			return 0
+		}
+		return stageOf[n]
+	}
+	lastUse := make(map[*graph.Node]int)
+	for _, n := range s.Graph.Nodes {
+		if n.Op.Kind != graph.OpInput {
+			prof.WeightBytes += graph.WeightBytes(n)
+		}
+		// A tensor with no consumers (network output) lives through its
+		// own stage.
+		last := prodStage(n)
+		for _, c := range n.Outputs() {
+			if sc, ok := stageOf[c]; ok && sc > last {
+				last = sc
+			}
+		}
+		lastUse[n] = last
+	}
+	for si := range s.Stages {
+		var live float64
+		for _, n := range s.Graph.Nodes {
+			if prodStage(n) <= si && si <= lastUse[n] {
+				live += float64(n.Output.Bytes())
+			}
+		}
+		if live > prof.PeakActivationBytes {
+			prof.PeakActivationBytes = live
+			prof.PeakStage = si
+		}
+	}
+	return prof
+}

@@ -1,0 +1,79 @@
+package schedule
+
+import (
+	"testing"
+
+	"ios/internal/graph"
+)
+
+func TestMemorySequentialChain(t *testing.T) {
+	// in(1x4x8x8) -> a -> b -> c, one stage each: at any stage only the
+	// producer and consumer tensors are live.
+	g := graph.New("chain")
+	in := g.Input("in", graph.Shape{N: 1, C: 4, H: 8, W: 8})
+	a := g.Conv("a", in, graph.ConvOpts{Out: 4, Kernel: 3})
+	b := g.Conv("b", a, graph.ConvOpts{Out: 4, Kernel: 3})
+	c := g.Conv("c", b, graph.ConvOpts{Out: 4, Kernel: 3})
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{a}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{b}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{c}}},
+	}}
+	m := Memory(s)
+	tensorBytes := float64(graph.Shape{N: 1, C: 4, H: 8, W: 8}.Bytes())
+	// Peak: stage 0 holds in + a (2 tensors); stage 1 holds in? in's last
+	// use is stage 0, so stage 1 holds a + b. Peak = 2 tensors.
+	if m.PeakActivationBytes != 2*tensorBytes {
+		t.Errorf("peak = %g, want %g", m.PeakActivationBytes, 2*tensorBytes)
+	}
+	if m.WeightBytes != 3*graph.WeightBytes(a) {
+		t.Errorf("weights = %g", m.WeightBytes)
+	}
+}
+
+func TestMemoryFanoutKeepsProducerLive(t *testing.T) {
+	// in -> a; a feeds b (stage 2) and c (stage 3): a stays live through
+	// stage 3.
+	g := graph.New("fan")
+	in := g.Input("in", graph.Shape{N: 1, C: 4, H: 8, W: 8})
+	a := g.Conv("a", in, graph.ConvOpts{Out: 4, Kernel: 3})
+	b := g.Conv("b", a, graph.ConvOpts{Out: 4, Kernel: 3})
+	c := g.Conv("c", a, graph.ConvOpts{Out: 4, Kernel: 3})
+	g2 := g.Concat("cat", b, c)
+	_ = g2
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{a}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{b}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{c}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{g.NodeByName("cat")}}},
+	}}
+	m := Memory(s)
+	one := float64(graph.Shape{N: 1, C: 4, H: 8, W: 8}.Bytes())
+	// Stage 3 (cat): live = a? a's last use is stage 2 (c). Stage 2: a, b,
+	// c live = 3 tensors. Stage 3: b, c, cat(8ch=2 units) = 4 units.
+	if m.PeakActivationBytes != 4*one {
+		t.Errorf("peak = %g units, want 4 (got %g)", m.PeakActivationBytes/one, m.PeakActivationBytes)
+	}
+	if m.PeakStage != 3 {
+		t.Errorf("peak stage = %d, want 3", m.PeakStage)
+	}
+}
+
+func TestMemoryScalesWithBatch(t *testing.T) {
+	build := func(batch int) MemoryProfile {
+		g := graph.New("b")
+		in := g.Input("in", graph.Shape{N: batch, C: 8, H: 16, W: 16})
+		a := g.Conv("a", in, graph.ConvOpts{Out: 8, Kernel: 3})
+		s := &Schedule{Graph: g, Stages: []Stage{
+			{Strategy: Concurrent, Groups: [][]*graph.Node{{a}}},
+		}}
+		return Memory(s)
+	}
+	m1, m4 := build(1), build(4)
+	if m4.PeakActivationBytes != 4*m1.PeakActivationBytes {
+		t.Errorf("activations did not scale: %g vs %g", m4.PeakActivationBytes, m1.PeakActivationBytes)
+	}
+	if m4.WeightBytes != m1.WeightBytes {
+		t.Error("weights scaled with batch")
+	}
+}

@@ -1,0 +1,234 @@
+// Package schedule defines the schedule IR produced by IOS and consumed by
+// the execution engines: an ordered list of stages, each with a
+// parallelization strategy and a partition of its operators into groups
+// (Section 3). Stages execute sequentially; within a "concurrent execution"
+// stage, groups run concurrently and operators within a group run
+// sequentially; an "operator merge" stage executes all of its operators as
+// one fused kernel.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ios/internal/graph"
+)
+
+// Strategy is a stage's parallelization strategy.
+type Strategy int
+
+const (
+	// Concurrent is the paper's "concurrent execution": disjoint groups
+	// on separate streams.
+	Concurrent Strategy = iota
+	// Merge is the paper's "operator merge": same-type operators stacked
+	// into one wider kernel.
+	Merge
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	if s == Merge {
+		return "operator merge"
+	}
+	return "concurrent execution"
+}
+
+// Stage is one step of a schedule.
+type Stage struct {
+	// Strategy selects how the stage's operators are parallelized.
+	Strategy Strategy
+	// Groups partitions the stage's operators. For Concurrent, each
+	// group is a chain executed on its own stream in slice order. For
+	// Merge there is a single group whose operators fuse into one
+	// kernel.
+	Groups [][]*graph.Node
+}
+
+// Ops returns all operators in the stage, in group order.
+func (st Stage) Ops() []*graph.Node {
+	var out []*graph.Node
+	for _, g := range st.Groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// NumOps returns the operator count of the stage.
+func (st Stage) NumOps() int {
+	n := 0
+	for _, g := range st.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// String renders a compact stage description like
+// "[{a, b} | {c}] concurrent execution".
+func (st Stage) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, g := range st.Groups {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteByte('{')
+		for j, n := range g {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(n.Name)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("] ")
+	b.WriteString(st.Strategy.String())
+	return b.String()
+}
+
+// Schedule is an execution plan for a graph: the paper's
+// Q = {(S1,T1), ..., (Sk,Tk)}.
+type Schedule struct {
+	// Graph is the computation graph this schedule executes.
+	Graph *graph.Graph
+	// Stages run sequentially in slice order.
+	Stages []Stage
+}
+
+// NumStages returns the stage count.
+func (s *Schedule) NumStages() int { return len(s.Stages) }
+
+// String renders one stage per line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule for %q (%d stages)\n", s.Graph.Name, len(s.Stages))
+	for i, st := range s.Stages {
+		fmt.Fprintf(&b, "  stage %d: %s\n", i+1, st.String())
+	}
+	return b.String()
+}
+
+// Validate checks that the schedule is feasible for its graph:
+//
+//   - the stages partition the graph's schedulable operators;
+//   - every edge (u, v) has stage(u) <= stage(v) — i.e. each stage's
+//     operator set is an ending of the suffix it closes (Section 4.1);
+//   - within a stage, groups are disjoint, operators connected by an edge
+//     share a group (the concurrent-execution rule), and each group's
+//     order respects dependencies;
+//   - within a stage, no edge connects two of its operators across groups.
+func (s *Schedule) Validate() error {
+	stageOf := make(map[*graph.Node]int)
+	groupOf := make(map[*graph.Node]int)
+	posOf := make(map[*graph.Node]int)
+	for si, st := range s.Stages {
+		if len(st.Groups) == 0 {
+			return fmt.Errorf("schedule: stage %d has no groups", si+1)
+		}
+		for gi, grp := range st.Groups {
+			if len(grp) == 0 {
+				return fmt.Errorf("schedule: stage %d group %d is empty", si+1, gi+1)
+			}
+			for pi, n := range grp {
+				if n.Op.Kind == graph.OpInput {
+					return fmt.Errorf("schedule: input node %q scheduled in stage %d", n.Name, si+1)
+				}
+				if prev, dup := stageOf[n]; dup {
+					return fmt.Errorf("schedule: node %q in both stage %d and stage %d", n.Name, prev+1, si+1)
+				}
+				stageOf[n] = si
+				groupOf[n] = gi
+				posOf[n] = pi
+			}
+		}
+	}
+	want := s.Graph.SchedulableNodes()
+	if len(stageOf) != len(want) {
+		return fmt.Errorf("schedule: covers %d of %d operators", len(stageOf), len(want))
+	}
+	for _, n := range want {
+		if _, ok := stageOf[n]; !ok {
+			return fmt.Errorf("schedule: operator %q not scheduled", n.Name)
+		}
+	}
+	for _, v := range want {
+		for _, u := range v.Inputs {
+			if u.Op.Kind == graph.OpInput {
+				continue
+			}
+			su, sv := stageOf[u], stageOf[v]
+			if su > sv {
+				return fmt.Errorf("schedule: edge %q->%q runs backwards (stage %d -> %d)", u.Name, v.Name, su+1, sv+1)
+			}
+			if su == sv {
+				if groupOf[u] != groupOf[v] {
+					return fmt.Errorf("schedule: edge %q->%q crosses groups within stage %d", u.Name, v.Name, su+1)
+				}
+				if posOf[u] >= posOf[v] {
+					return fmt.Errorf("schedule: edge %q->%q violates group order in stage %d", u.Name, v.Name, su+1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GroupsOf partitions ops into connected components under the graph's
+// edges restricted to ops (the paper's group rule: "if two operators are
+// connected by an edge, they are partitioned into the same group").
+// Operators within each group are ordered topologically (by node ID) and
+// groups are ordered by their smallest member for determinism.
+func GroupsOf(ops []*graph.Node) [][]*graph.Node {
+	in := make(map[*graph.Node]bool, len(ops))
+	for _, n := range ops {
+		in[n] = true
+	}
+	parent := make(map[*graph.Node]*graph.Node, len(ops))
+	var find func(n *graph.Node) *graph.Node
+	find = func(n *graph.Node) *graph.Node {
+		if parent[n] == n {
+			return n
+		}
+		r := find(parent[n])
+		parent[n] = r
+		return r
+	}
+	for _, n := range ops {
+		parent[n] = n
+	}
+	union := func(a, b *graph.Node) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, n := range ops {
+		for _, p := range n.Inputs {
+			if in[p] {
+				union(n, p)
+			}
+		}
+	}
+	byRoot := make(map[*graph.Node][]*graph.Node)
+	for _, n := range ops {
+		r := find(n)
+		byRoot[r] = append(byRoot[r], n)
+	}
+	groups := make([][]*graph.Node, 0, len(byRoot))
+	for _, g := range byRoot {
+		graph.SortNodesByID(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0].ID < groups[j][0].ID })
+	return groups
+}
+
+// Concat appends the stages of other to s. Both must refer to the same
+// graph; used to assemble a network schedule from per-block schedules.
+func (s *Schedule) Concat(other *Schedule) {
+	if other.Graph != s.Graph {
+		panic("schedule: Concat across different graphs")
+	}
+	s.Stages = append(s.Stages, other.Stages...)
+}

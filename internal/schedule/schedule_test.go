@@ -1,0 +1,170 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"ios/internal/graph"
+)
+
+// diamond builds in -> a -> {b, c} -> cat plus an independent d.
+func diamond() (*graph.Graph, map[string]*graph.Node) {
+	g := graph.New("d")
+	in := g.Input("in", graph.Shape{N: 1, C: 4, H: 8, W: 8})
+	a := g.Conv("a", in, graph.ConvOpts{Out: 8, Kernel: 3})
+	b := g.Conv("b", a, graph.ConvOpts{Out: 8, Kernel: 3})
+	c := g.Conv("c", a, graph.ConvOpts{Out: 8, Kernel: 3})
+	d := g.Conv("d", in, graph.ConvOpts{Out: 8, Kernel: 3})
+	cat := g.Concat("cat", b, c)
+	return g, map[string]*graph.Node{"a": a, "b": b, "c": c, "d": d, "cat": cat}
+}
+
+func TestValidateAcceptsGoodSchedule(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["d"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["b"]}, {n["c"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["cat"]}}},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMissingOp(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"], n["b"], n["c"], n["cat"]}}},
+	}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "covers") {
+		t.Errorf("missing op not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicates(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["a"]}}},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate op not rejected")
+	}
+}
+
+func TestValidateRejectsBackwardEdge(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["b"]}, {n["c"]}, {n["d"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["cat"]}}},
+	}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Errorf("backward edge not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsCrossGroupEdge(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["b"]}, {n["d"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["c"]}, {n["cat"]}}},
+	}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "crosses groups") {
+		t.Errorf("cross-group edge not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsGroupOrderViolation(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["b"], n["a"]}, {n["d"]}}}, // b before its producer a
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["c"]}, {n["cat"]}}},
+	}}
+	err := s.Validate()
+	if err == nil {
+		t.Error("group order violation not rejected")
+	}
+}
+
+func TestValidateRejectsScheduledInput(t *testing.T) {
+	g, _ := diamond()
+	in := g.NodeByName("in")
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{in}}},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Error("scheduled input not rejected")
+	}
+}
+
+func TestGroupsOfConnectivity(t *testing.T) {
+	g, n := diamond()
+	_ = g
+	groups := GroupsOf([]*graph.Node{n["a"], n["b"], n["d"]})
+	// a-b connected, d isolated.
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if len(groups[0]) != 2 || groups[0][0] != n["a"] || groups[0][1] != n["b"] {
+		t.Errorf("first group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != n["d"] {
+		t.Errorf("second group = %v", groups[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["d"]}}},
+		{Strategy: Merge, Groups: [][]*graph.Node{{n["b"], n["c"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["cat"]}}},
+	}}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStages() != 3 {
+		t.Fatalf("stages = %d", back.NumStages())
+	}
+	if back.Stages[1].Strategy != Merge {
+		t.Error("merge strategy lost")
+	}
+	if back.Stages[0].Groups[1][0] != n["d"] {
+		t.Error("node identity lost")
+	}
+}
+
+func TestFromJSONUnknownNode(t *testing.T) {
+	g, _ := diamond()
+	_, err := FromJSON([]byte(`{"graph":"d","stages":[{"strategy":"concurrent execution","groups":[["nope"]]}]}`), g)
+	if err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestStageStringAndOps(t *testing.T) {
+	_, n := diamond()
+	st := Stage{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"], n["b"]}, {n["d"]}}}
+	if st.NumOps() != 3 {
+		t.Errorf("NumOps = %d", st.NumOps())
+	}
+	s := st.String()
+	for _, want := range []string{"a", "b", "d", "|", "concurrent"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stage string %q missing %q", s, want)
+		}
+	}
+	if got := len(st.Ops()); got != 3 {
+		t.Errorf("Ops len = %d", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Concurrent.String() != "concurrent execution" || Merge.String() != "operator merge" {
+		t.Error("strategy names changed")
+	}
+}

@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"fmt"
+
+	"ios/internal/graph"
+)
+
+// Conv2D computes a 2-D convolution (cross-correlation, as deep-learning
+// frameworks define it) with the given stride, zero padding, and groups,
+// optionally applying ReLU.
+func Conv2D(in *Tensor, w *ConvWeights, strideH, strideW, padH, padW, groups int, act graph.Activation) (*Tensor, error) {
+	s := in.Shape
+	if groups < 1 || s.C%groups != 0 || w.OutC%groups != 0 {
+		return nil, fmt.Errorf("tensor: conv groups %d incompatible with channels %d->%d", groups, s.C, w.OutC)
+	}
+	inPerGroup := s.C / groups
+	if w.InCPerGroup != inPerGroup {
+		return nil, fmt.Errorf("tensor: weights expect %d input channels/group, input has %d", w.InCPerGroup, inPerGroup)
+	}
+	outH := (s.H+2*padH-w.KH)/strideH + 1
+	outW := (s.W+2*padW-w.KW)/strideW + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("tensor: conv output %dx%d not positive", outH, outW)
+	}
+	out := New(graph.Shape{N: s.N, C: w.OutC, H: outH, W: outW})
+	outPerGroup := w.OutC / groups
+	for n := 0; n < s.N; n++ {
+		for oc := 0; oc < w.OutC; oc++ {
+			g := oc / outPerGroup
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var acc float32
+					for ic := 0; ic < inPerGroup; ic++ {
+						cIn := g*inPerGroup + ic
+						for kh := 0; kh < w.KH; kh++ {
+							ih := oh*strideH + kh - padH
+							if ih < 0 || ih >= s.H {
+								continue
+							}
+							for kw := 0; kw < w.KW; kw++ {
+								iw := ow*strideW + kw - padW
+								if iw < 0 || iw >= s.W {
+									continue
+								}
+								acc += in.At(n, cIn, ih, iw) * w.At(oc, ic, kh, kw)
+							}
+						}
+					}
+					if act == graph.ActReLU && acc < 0 {
+						acc = 0
+					}
+					out.Set(n, oc, oh, ow, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SepConv computes the Relu-SepConv unit: optional leading ReLU, k-way
+// input sum, depthwise convolution with dw, then pointwise 1×1 with pw.
+func SepConv(inputs []*Tensor, dw, pw *ConvWeights, strideH, strideW, padH, padW int, act graph.Activation) (*Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("tensor: sepconv needs inputs")
+	}
+	x := inputs[0].Clone()
+	for _, t := range inputs[1:] {
+		if t.Shape != x.Shape {
+			return nil, fmt.Errorf("tensor: sepconv aggregation shape mismatch")
+		}
+		for i := range x.Data {
+			x.Data[i] += t.Data[i]
+		}
+	}
+	if act == graph.ActReLU {
+		for i := range x.Data {
+			if x.Data[i] < 0 {
+				x.Data[i] = 0
+			}
+		}
+	}
+	mid, err := Conv2D(x, dw, strideH, strideW, padH, padW, x.Shape.C, graph.ActNone)
+	if err != nil {
+		return nil, err
+	}
+	return Conv2D(mid, pw, 1, 1, 0, 0, 1, graph.ActNone)
+}
+
+// Pool computes max or average pooling with "count all" averaging over the
+// padded window denominator excluded (frameworks' count_include_pad=false).
+func Pool(in *Tensor, kind graph.PoolKind, kernel, strideH, strideW, padH, padW int) (*Tensor, error) {
+	s := in.Shape
+	outH := (s.H+2*padH-kernel)/strideH + 1
+	outW := (s.W+2*padW-kernel)/strideW + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("tensor: pool output %dx%d not positive", outH, outW)
+	}
+	out := New(graph.Shape{N: s.N, C: s.C, H: outH, W: outW})
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var acc float32
+					count := 0
+					first := true
+					for kh := 0; kh < kernel; kh++ {
+						ih := oh*strideH + kh - padH
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for kw := 0; kw < kernel; kw++ {
+							iw := ow*strideW + kw - padW
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							v := in.At(n, c, ih, iw)
+							if kind == graph.MaxPool {
+								if first || v > acc {
+									acc = v
+								}
+								first = false
+							} else {
+								acc += v
+								count++
+							}
+						}
+					}
+					if kind == graph.AvgPool && count > 0 {
+						acc /= float32(count)
+					}
+					out.Set(n, c, oh, ow, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool reduces H×W to 1×1.
+func GlobalAvgPool(in *Tensor) *Tensor {
+	s := in.Shape
+	out := New(graph.Shape{N: s.N, C: s.C, H: 1, W: 1})
+	hw := float32(s.H * s.W)
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			var acc float32
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					acc += in.At(n, c, h, w)
+				}
+			}
+			out.Set(n, c, 0, 0, acc/hw)
+		}
+	}
+	return out
+}
+
+// Matmul computes a fully connected layer: weights laid out as a 1×1
+// "convolution" bank [outF][inF].
+func Matmul(in *Tensor, w *ConvWeights) (*Tensor, error) {
+	s := in.Shape
+	inF := s.C * s.H * s.W
+	if w.InCPerGroup != inF || w.KH != 1 || w.KW != 1 {
+		return nil, fmt.Errorf("tensor: matmul weights %dx%d incompatible with input %d features", w.OutC, w.InCPerGroup, inF)
+	}
+	out := New(graph.Shape{N: s.N, C: w.OutC, H: 1, W: 1})
+	for n := 0; n < s.N; n++ {
+		base := n * inF
+		for o := 0; o < w.OutC; o++ {
+			var acc float32
+			wBase := o * inF
+			for i := 0; i < inF; i++ {
+				acc += in.Data[base+i] * w.Data[wBase+i]
+			}
+			out.Set(n, o, 0, 0, acc)
+		}
+	}
+	return out, nil
+}
+
+// Concat concatenates along channels.
+func Concat(inputs []*Tensor) (*Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("tensor: concat needs inputs")
+	}
+	s := inputs[0].Shape
+	totalC := 0
+	for _, t := range inputs {
+		if t.Shape.N != s.N || t.Shape.H != s.H || t.Shape.W != s.W {
+			return nil, fmt.Errorf("tensor: concat shape mismatch")
+		}
+		totalC += t.Shape.C
+	}
+	out := New(graph.Shape{N: s.N, C: totalC, H: s.H, W: s.W})
+	for n := 0; n < s.N; n++ {
+		off := 0
+		for _, t := range inputs {
+			for c := 0; c < t.Shape.C; c++ {
+				for h := 0; h < s.H; h++ {
+					for w := 0; w < s.W; w++ {
+						out.Set(n, off+c, h, w, t.At(n, c, h, w))
+					}
+				}
+			}
+			off += t.Shape.C
+		}
+	}
+	return out, nil
+}
+
+// SplitChannels splits a tensor into chunks of the given channel counts —
+// the inverse of Concat, required after a merged convolution.
+func SplitChannels(in *Tensor, channels []int) ([]*Tensor, error) {
+	total := 0
+	for _, c := range channels {
+		total += c
+	}
+	if total != in.Shape.C {
+		return nil, fmt.Errorf("tensor: split channels sum %d != %d", total, in.Shape.C)
+	}
+	out := make([]*Tensor, len(channels))
+	off := 0
+	for i, cc := range channels {
+		t := New(graph.Shape{N: in.Shape.N, C: cc, H: in.Shape.H, W: in.Shape.W})
+		for n := 0; n < in.Shape.N; n++ {
+			for c := 0; c < cc; c++ {
+				for h := 0; h < in.Shape.H; h++ {
+					for w := 0; w < in.Shape.W; w++ {
+						t.Set(n, c, h, w, in.At(n, off+c, h, w))
+					}
+				}
+			}
+		}
+		out[i] = t
+		off += cc
+	}
+	return out, nil
+}
+
+// Add sums same-shaped tensors elementwise.
+func Add(inputs []*Tensor) (*Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("tensor: add needs inputs")
+	}
+	out := inputs[0].Clone()
+	for _, t := range inputs[1:] {
+		if t.Shape != out.Shape {
+			return nil, fmt.Errorf("tensor: add shape mismatch")
+		}
+		for i := range out.Data {
+			out.Data[i] += t.Data[i]
+		}
+	}
+	return out, nil
+}
+
+// ReLU applies max(x, 0) elementwise.
+func ReLU(in *Tensor) *Tensor {
+	out := in.Clone()
+	for i := range out.Data {
+		if out.Data[i] < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package tensor is a minimal float32 NCHW tensor library with reference
+// (naive, correctness-first) implementations of every operator in the
+// graph IR. It backs internal/refexec, which executes schedules over real
+// data to prove that IOS's transformations — concurrent group execution
+// and operator merge with kernel padding — are semantics-preserving.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ios/internal/graph"
+)
+
+// Tensor is a dense float32 tensor in NCHW layout.
+type Tensor struct {
+	Shape graph.Shape
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape graph.Shape) *Tensor {
+	return &Tensor{Shape: shape, Data: make([]float32, shape.Elems())}
+}
+
+// Random returns a tensor with deterministic pseudo-random values in
+// [-1, 1) from the given seed.
+func Random(shape graph.Shape, seed int64) *Tensor {
+	t := New(shape)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()*2 - 1
+	}
+	return t
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float32 {
+	return t.Data[t.index(n, c, h, w)]
+}
+
+// Set assigns the element at (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float32) {
+	t.Data[t.index(n, c, h, w)] = v
+}
+
+func (t *Tensor) index(n, c, h, w int) int {
+	s := t.Shape
+	return ((n*s.C+c)*s.H+h)*s.W + w
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two same-shaped tensors.
+func MaxAbsDiff(a, b *Tensor) (float64, error) {
+	if a.Shape != b.Shape {
+		return 0, fmt.Errorf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// ConvWeights holds a convolution's filter bank [outC][inC/groups][kH][kW]
+// flattened.
+type ConvWeights struct {
+	OutC, InCPerGroup, KH, KW int
+	Data                      []float32
+}
+
+// NewConvWeights allocates zeroed weights.
+func NewConvWeights(outC, inCPerGroup, kh, kw int) *ConvWeights {
+	return &ConvWeights{OutC: outC, InCPerGroup: inCPerGroup, KH: kh, KW: kw,
+		Data: make([]float32, outC*inCPerGroup*kh*kw)}
+}
+
+// RandomConvWeights returns deterministic pseudo-random weights.
+func RandomConvWeights(outC, inCPerGroup, kh, kw int, seed int64) *ConvWeights {
+	w := NewConvWeights(outC, inCPerGroup, kh, kw)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range w.Data {
+		w.Data[i] = rng.Float32()*2 - 1
+	}
+	return w
+}
+
+// At returns the weight (o, i, kh, kw).
+func (w *ConvWeights) At(o, i, kh, kw int) float32 {
+	return w.Data[((o*w.InCPerGroup+i)*w.KH+kh)*w.KW+kw]
+}
+
+// Set assigns the weight (o, i, kh, kw).
+func (w *ConvWeights) Set(o, i, kh, kw int, v float32) {
+	w.Data[((o*w.InCPerGroup+i)*w.KH+kh)*w.KW+kw] = v
+}
+
+// PadTo returns a copy of w zero-padded to kernel size (kh, kw), centered,
+// which is the operator-merge transformation ("the smaller kernel will be
+// padded with zeros to fit the large kernel"). Both paddings must be
+// non-negative and preserve parity so the kernel stays centered.
+func (w *ConvWeights) PadTo(kh, kw int) (*ConvWeights, error) {
+	dh, dw := kh-w.KH, kw-w.KW
+	if dh < 0 || dw < 0 || dh%2 != 0 || dw%2 != 0 {
+		return nil, fmt.Errorf("tensor: cannot pad %dx%d kernel to %dx%d", w.KH, w.KW, kh, kw)
+	}
+	out := NewConvWeights(w.OutC, w.InCPerGroup, kh, kw)
+	for o := 0; o < w.OutC; o++ {
+		for i := 0; i < w.InCPerGroup; i++ {
+			for y := 0; y < w.KH; y++ {
+				for x := 0; x < w.KW; x++ {
+					out.Set(o, i, y+dh/2, x+dw/2, w.At(o, i, y, x))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// StackConvWeights concatenates filter banks along the output-channel
+// dimension; all banks must share InCPerGroup and kernel size.
+func StackConvWeights(banks []*ConvWeights) (*ConvWeights, error) {
+	if len(banks) == 0 {
+		return nil, fmt.Errorf("tensor: no weights to stack")
+	}
+	first := banks[0]
+	outC := 0
+	for _, b := range banks {
+		if b.InCPerGroup != first.InCPerGroup || b.KH != first.KH || b.KW != first.KW {
+			return nil, fmt.Errorf("tensor: incompatible banks for stacking")
+		}
+		outC += b.OutC
+	}
+	out := NewConvWeights(outC, first.InCPerGroup, first.KH, first.KW)
+	off := 0
+	for _, b := range banks {
+		copy(out.Data[off:], b.Data)
+		off += len(b.Data)
+	}
+	return out, nil
+}

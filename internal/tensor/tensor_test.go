@@ -1,0 +1,376 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ios/internal/graph"
+)
+
+func almostEqual(a, b *Tensor, tol float64) bool {
+	d, err := MaxAbsDiff(a, b)
+	return err == nil && d <= tol
+}
+
+func TestIndexingRoundTrip(t *testing.T) {
+	tt := New(graph.Shape{N: 2, C: 3, H: 4, W: 5})
+	v := float32(0)
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					tt.Set(n, c, h, w, v)
+					v++
+				}
+			}
+		}
+	}
+	for i, want := range tt.Data {
+		if tt.Data[i] != want {
+			t.Fatalf("data[%d] = %g", i, tt.Data[i])
+		}
+	}
+	if tt.At(1, 2, 3, 4) != float32(len(tt.Data)-1) {
+		t.Error("last element wrong")
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(graph.Shape{N: 1, C: 2, H: 3, W: 3}, 42)
+	b := Random(graph.Shape{N: 1, C: 2, H: 3, W: 3}, 42)
+	if !almostEqual(a, b, 0) {
+		t.Error("same seed produced different tensors")
+	}
+	c := Random(graph.Shape{N: 1, C: 2, H: 3, W: 3}, 43)
+	if almostEqual(a, c, 0) {
+		t.Error("different seeds produced identical tensors")
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// A 1x1 identity kernel (one output channel copying input channel 0).
+	in := Random(graph.Shape{N: 1, C: 2, H: 4, W: 4}, 1)
+	w := NewConvWeights(1, 2, 1, 1)
+	w.Set(0, 0, 0, 0, 1)
+	out, err := Conv2D(in, w, 1, 1, 0, 0, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 4; h++ {
+		for x := 0; x < 4; x++ {
+			if out.At(0, 0, h, x) != in.At(0, 0, h, x) {
+				t.Fatalf("identity conv differs at (%d,%d)", h, x)
+			}
+		}
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1x1x2x2 input, 3x3 all-ones kernel, same padding: each output is
+	// the sum of the in-bounds neighbourhood.
+	in := New(graph.Shape{N: 1, C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	w := NewConvWeights(1, 1, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out, err := Conv2D(in, w, 1, 1, 1, 1, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{10, 10, 10, 10}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestConvReLU(t *testing.T) {
+	in := New(graph.Shape{N: 1, C: 1, H: 1, W: 2})
+	copy(in.Data, []float32{1, -1})
+	w := NewConvWeights(1, 1, 1, 1)
+	w.Set(0, 0, 0, 0, 1)
+	out, err := Conv2D(in, w, 1, 1, 0, 0, 1, graph.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 1 || out.Data[1] != 0 {
+		t.Errorf("relu conv = %v", out.Data)
+	}
+}
+
+func TestConvStride(t *testing.T) {
+	in := Random(graph.Shape{N: 1, C: 1, H: 6, W: 6}, 2)
+	w := RandomConvWeights(1, 1, 1, 1, 3)
+	out, err := Conv2D(in, w, 2, 2, 0, 0, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape != (graph.Shape{N: 1, C: 1, H: 3, W: 3}) {
+		t.Fatalf("strided shape = %v", out.Shape)
+	}
+	if out.At(0, 0, 1, 1) != in.At(0, 0, 2, 2)*w.At(0, 0, 0, 0) {
+		t.Error("strided sampling wrong")
+	}
+}
+
+func TestGroupedConvEqualsPerGroupDense(t *testing.T) {
+	// groups=2 conv equals two dense convs on channel halves.
+	in := Random(graph.Shape{N: 1, C: 4, H: 5, W: 5}, 4)
+	w := RandomConvWeights(6, 2, 3, 3, 5)
+	out, err := Conv2D(in, w, 1, 1, 1, 1, 2, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halves, err := SplitChannels(in, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := NewConvWeights(3, 2, 3, 3)
+	copy(w1.Data, w.Data[:len(w.Data)/2])
+	w2 := NewConvWeights(3, 2, 3, 3)
+	copy(w2.Data, w.Data[len(w.Data)/2:])
+	o1, err := Conv2D(halves[0], w1, 1, 1, 1, 1, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Conv2D(halves[1], w2, 1, 1, 1, 1, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Concat([]*Tensor{o1, o2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(out, cat, 1e-5) {
+		t.Error("grouped conv != per-group dense convs")
+	}
+}
+
+// TestKernelPaddingPreservesConv is the algebraic heart of operator merge:
+// a kernel zero-padded to a larger (same-parity) size with matching "same"
+// input padding computes the same function.
+func TestKernelPaddingPreservesConv(t *testing.T) {
+	cases := []struct{ kh, kw, toH, toW int }{
+		{1, 1, 3, 3}, {1, 3, 3, 3}, {3, 1, 3, 3}, {3, 3, 5, 5}, {1, 1, 7, 7},
+	}
+	for _, c := range cases {
+		in := Random(graph.Shape{N: 2, C: 3, H: 8, W: 8}, 7)
+		w := RandomConvWeights(4, 3, c.kh, c.kw, 8)
+		small, err := Conv2D(in, w, 1, 1, (c.kh-1)/2, (c.kw-1)/2, 1, graph.ActReLU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded, err := w.PadTo(c.toH, c.toW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := Conv2D(in, padded, 1, 1, (c.toH-1)/2, (c.toW-1)/2, 1, graph.ActReLU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(small, big, 1e-5) {
+			t.Errorf("padding %dx%d->%dx%d changed the conv", c.kh, c.kw, c.toH, c.toW)
+		}
+	}
+}
+
+func TestPadToRejectsBadTargets(t *testing.T) {
+	w := NewConvWeights(1, 1, 3, 3)
+	if _, err := w.PadTo(2, 3); err == nil {
+		t.Error("parity-breaking pad accepted")
+	}
+	if _, err := w.PadTo(1, 1); err == nil {
+		t.Error("shrinking pad accepted")
+	}
+}
+
+// TestStackedConvEqualsConcat: stacking filter banks computes the
+// concatenation of the individual convs — operator merge's other half.
+func TestStackedConvEqualsConcat(t *testing.T) {
+	in := Random(graph.Shape{N: 1, C: 3, H: 6, W: 6}, 9)
+	w1 := RandomConvWeights(2, 3, 3, 3, 10)
+	w2 := RandomConvWeights(5, 3, 3, 3, 11)
+	o1, err := Conv2D(in, w1, 1, 1, 1, 1, 1, graph.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Conv2D(in, w2, 1, 1, 1, 1, 1, graph.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Concat([]*Tensor{o1, o2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := StackConvWeights([]*ConvWeights{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Conv2D(in, stacked, 1, 1, 1, 1, 1, graph.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-5) {
+		t.Error("stacked conv != concat of convs")
+	}
+}
+
+func TestSplitInvertsConcat(t *testing.T) {
+	a := Random(graph.Shape{N: 1, C: 2, H: 3, W: 3}, 12)
+	b := Random(graph.Shape{N: 1, C: 5, H: 3, W: 3}, 13)
+	cat, err := Concat([]*Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := SplitChannels(cat, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(parts[0], a, 0) || !almostEqual(parts[1], b, 0) {
+		t.Error("split did not invert concat")
+	}
+	if _, err := SplitChannels(cat, []int{3, 5}); err == nil {
+		t.Error("bad split accepted")
+	}
+}
+
+func TestPooling(t *testing.T) {
+	in := New(graph.Shape{N: 1, C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	mx, err := Pool(in, graph.MaxPool, 2, 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Data[0] != 4 {
+		t.Errorf("maxpool = %v", mx.Data)
+	}
+	av, err := Pool(in, graph.AvgPool, 2, 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.Data[0] != 2.5 {
+		t.Errorf("avgpool = %v", av.Data)
+	}
+	// Padded average excludes out-of-bounds cells from the denominator.
+	av2, err := Pool(in, graph.AvgPool, 2, 1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av2.At(0, 0, 0, 0) != 1 { // only the (0,0) cell is in bounds
+		t.Errorf("padded avgpool corner = %g", av2.At(0, 0, 0, 0))
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := New(graph.Shape{N: 1, C: 2, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4, 10, 20, 30, 40})
+	out := GlobalAvgPool(in)
+	if out.At(0, 0, 0, 0) != 2.5 || out.At(0, 1, 0, 0) != 25 {
+		t.Errorf("gap = %v", out.Data)
+	}
+}
+
+func TestMatmul(t *testing.T) {
+	in := New(graph.Shape{N: 2, C: 3, H: 1, W: 1})
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6})
+	w := NewConvWeights(2, 3, 1, 1)
+	copy(w.Data, []float32{1, 0, 0, 0, 1, 1})
+	out, err := Matmul(in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 5, 4, 11}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("matmul = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestSepConvMatchesComposition(t *testing.T) {
+	// SepConv == relu -> depthwise (grouped conv) -> pointwise.
+	in := Random(graph.Shape{N: 1, C: 4, H: 6, W: 6}, 20)
+	dw := RandomConvWeights(4, 1, 3, 3, 21)
+	pw := RandomConvWeights(6, 4, 1, 1, 22)
+	got, err := SepConv([]*Tensor{in}, dw, pw, 1, 1, 1, 1, graph.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu := ReLU(in)
+	mid, err := Conv2D(relu, dw, 1, 1, 1, 1, 4, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Conv2D(mid, pw, 1, 1, 0, 0, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-5) {
+		t.Error("sepconv != composition")
+	}
+}
+
+func TestSepConvAggregation(t *testing.T) {
+	a := Random(graph.Shape{N: 1, C: 2, H: 4, W: 4}, 30)
+	b := Random(graph.Shape{N: 1, C: 2, H: 4, W: 4}, 31)
+	dw := RandomConvWeights(2, 1, 3, 3, 32)
+	pw := RandomConvWeights(3, 2, 1, 1, 33)
+	got, err := SepConv([]*Tensor{a, b}, dw, pw, 1, 1, 1, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Add([]*Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SepConv([]*Tensor{sum}, dw, pw, 1, 1, 1, 1, graph.ActNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-5) {
+		t.Error("fused aggregation != explicit add")
+	}
+}
+
+// Property: convolution is linear in the input.
+func TestQuickConvLinearity(t *testing.T) {
+	w := RandomConvWeights(2, 2, 3, 3, 40)
+	shape := graph.Shape{N: 1, C: 2, H: 5, W: 5}
+	err := quick.Check(func(seedA, seedB int64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 100 {
+			alpha = 2
+		}
+		a := Random(shape, seedA)
+		b := Random(shape, seedB)
+		// c = a + alpha*b
+		c := New(shape)
+		for i := range c.Data {
+			c.Data[i] = a.Data[i] + float32(alpha)*b.Data[i]
+		}
+		oa, err := Conv2D(a, w, 1, 1, 1, 1, 1, graph.ActNone)
+		if err != nil {
+			return false
+		}
+		ob, err := Conv2D(b, w, 1, 1, 1, 1, 1, graph.ActNone)
+		if err != nil {
+			return false
+		}
+		oc, err := Conv2D(c, w, 1, 1, 1, 1, 1, graph.ActNone)
+		if err != nil {
+			return false
+		}
+		for i := range oc.Data {
+			want := float64(oa.Data[i]) + alpha*float64(ob.Data[i])
+			if math.Abs(float64(oc.Data[i])-want) > 1e-3*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

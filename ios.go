@@ -1,0 +1,154 @@
+// Package ios is an open reimplementation of IOS, the Inter-Operator
+// Scheduler for CNN acceleration (Ding et al., MLSys 2021). It finds, by
+// dynamic programming over graph "endings", the latency-optimal partition
+// of a CNN computation graph into stages, where each stage either executes
+// several operator groups concurrently on separate streams or merges
+// same-type operators into one wider kernel.
+//
+// The package bundles everything needed to use and study the scheduler:
+//
+//   - a computation-graph builder (NewGraph and the Graph methods);
+//   - a model zoo with the paper's benchmarks (InceptionV3, RandWire,
+//     NasNetA, SqueezeNet) and auxiliary networks;
+//   - the scheduler itself (Optimize) plus the sequential and greedy
+//     baselines;
+//   - a calibrated GPU simulator standing in for cuDNN hardware
+//     (devices V100, K80, RTX2080Ti, ...), used both as the profiling
+//     substrate during search and as the measurement engine;
+//   - a CPU reference executor (Execute) that runs schedules over real
+//     tensors and verifies they compute exactly what the graph defines.
+//
+// Quick start:
+//
+//	g := ios.InceptionV3(1)                       // batch size 1
+//	res, err := ios.Optimize(g, ios.V100, ios.Options{})
+//	if err != nil { ... }
+//	lat, _ := ios.Measure(g, res.Schedule, ios.V100)
+//	fmt.Printf("latency %.3f ms over %d stages\n", lat*1e3, res.Schedule.NumStages())
+package ios
+
+import (
+	"ios/internal/baseline"
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation; the aliases make the whole surface reachable from this
+// single import.
+type (
+	// Graph is a CNN computation graph (DAG of operators).
+	Graph = graph.Graph
+	// Node is one operator in a graph.
+	Node = graph.Node
+	// Shape is an NCHW tensor shape.
+	Shape = graph.Shape
+	// ConvOpts configures Graph.Conv and Graph.SepConv.
+	ConvOpts = graph.ConvOpts
+	// PoolOpts configures Graph.Pool.
+	PoolOpts = graph.PoolOpts
+	// Schedule is an execution plan: a sequence of stages.
+	Schedule = schedule.Schedule
+	// Stage is one schedule step with its parallelization strategy.
+	Stage = schedule.Stage
+	// Device describes a simulated GPU.
+	Device = gpusim.Spec
+	// Options configures the IOS search (strategy set and pruning).
+	Options = core.Options
+	// Pruning bounds the schedule space (r = max ops/group, s = max
+	// groups/stage).
+	Pruning = core.Pruning
+	// Result is an optimized schedule plus search statistics.
+	Result = core.Result
+	// SearchStats reports the search cost of one optimization.
+	SearchStats = core.Stats
+	// Profiler is the latency oracle used during search.
+	Profiler = profile.Profiler
+)
+
+// Strategy-set values for Options.Strategies.
+const (
+	// Both considers concurrent execution and operator merge (IOS-Both).
+	Both = core.Both
+	// ParallelOnly considers only concurrent execution (IOS-Parallel).
+	ParallelOnly = core.ParallelOnly
+	// MergeOnly considers only operator merge (IOS-Merge).
+	MergeOnly = core.MergeOnly
+)
+
+// Preset devices (calibrated to public datasheets; see internal/gpusim).
+var (
+	// V100 is the paper's primary evaluation GPU.
+	V100 = gpusim.TeslaV100
+	// K80 is the low-end GPU of the device-specialization study.
+	K80 = gpusim.TeslaK80
+	// RTX2080Ti is the Turing GPU of Appendix B.
+	RTX2080Ti = gpusim.RTX2080Ti
+	// GTX1080 and GTX980Ti are the Figure 1 trend devices.
+	GTX1080  = gpusim.GTX1080
+	GTX980Ti = gpusim.GTX980Ti
+	// A100 is a forward-looking device mentioned in the introduction.
+	A100 = gpusim.TeslaA100
+)
+
+// DefaultPruning is the paper's evaluation setting (r = 3, s = 8).
+var DefaultPruning = core.DefaultPruning
+
+// Unpruned requests the exhaustive search.
+var Unpruned = core.Unpruned
+
+// NewGraph returns an empty computation graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// NewProfiler returns a latency oracle for the device, usable across
+// several Optimize calls to share its measurement cache.
+func NewProfiler(dev Device) *Profiler { return profile.New(dev) }
+
+// Optimize runs the IOS dynamic program on the graph for the given device
+// and returns the best schedule found together with search statistics.
+func Optimize(g *Graph, dev Device, opts Options) (*Result, error) {
+	return core.Optimize(g, profile.New(dev), opts)
+}
+
+// OptimizeWithProfiler is Optimize with a caller-provided (possibly
+// shared or noise-configured) profiler.
+func OptimizeWithProfiler(g *Graph, prof *Profiler, opts Options) (*Result, error) {
+	return core.Optimize(g, prof, opts)
+}
+
+// SequentialSchedule returns the paper's sequential baseline: operators
+// one by one in topological order.
+func SequentialSchedule(g *Graph) (*Schedule, error) { return baseline.Sequential(g) }
+
+// GreedySchedule returns the paper's greedy baseline: every ready operator
+// runs in the current stage.
+func GreedySchedule(g *Graph) (*Schedule, error) { return baseline.Greedy(g) }
+
+// Measure returns the end-to-end latency in seconds of executing the
+// schedule on the device.
+func Measure(g *Graph, s *Schedule, dev Device) (float64, error) {
+	if s.Graph != g {
+		s = &schedule.Schedule{Graph: g, Stages: s.Stages}
+	}
+	return profile.New(dev).MeasureSchedule(s)
+}
+
+// Throughput returns images/second for the schedule at the graph's batch
+// size on the device.
+func Throughput(g *Graph, s *Schedule, dev Device) (float64, error) {
+	lat, err := Measure(g, s, dev)
+	if err != nil {
+		return 0, err
+	}
+	batch := 1
+	for _, n := range g.Nodes {
+		if n.Op.Kind == graph.OpInput {
+			batch = n.Output.N
+			break
+		}
+	}
+	return float64(batch) / lat, nil
+}

@@ -1,0 +1,102 @@
+package ios
+
+import (
+	"ios/internal/graph"
+	"ios/internal/models"
+	"ios/internal/refexec"
+	"ios/internal/tensor"
+)
+
+// Model zoo: the paper's benchmark networks (Table 2) and auxiliary
+// graphs, re-exported from the internal builders so library users can
+// reproduce the experiments without touching internal packages.
+
+// InceptionV3 builds Inception V3 at the given batch size (299×299).
+func InceptionV3(batch int) *Graph { return models.InceptionV3(batch) }
+
+// RandWire builds the randomly wired CNN used in the paper (224×224).
+func RandWire(batch int) *Graph { return models.RandWire(batch) }
+
+// NasNetA builds NASNet-A with 13 cells (224×224).
+func NasNetA(batch int) *Graph { return models.NasNetA(batch) }
+
+// SqueezeNet builds SqueezeNet v1.0 with bypass connections (224×224).
+func SqueezeNet(batch int) *Graph { return models.SqueezeNet(batch) }
+
+// ResNet34 builds ResNet-34, the paper's example of a network with little
+// inter-operator parallelism.
+func ResNet34(batch int) *Graph { return models.ResNet34(batch) }
+
+// ResNet50 builds ResNet-50.
+func ResNet50(batch int) *Graph { return models.ResNet50(batch) }
+
+// VGG16 builds VGG-16 (used by the Figure 1 trend analysis).
+func VGG16(batch int) *Graph { return models.VGG16(batch) }
+
+// Figure2Block builds the running example of the paper's Figure 2.
+func Figure2Block(batch int) *Graph { return models.Figure2Block(batch) }
+
+// Execute runs a schedule over real float32 tensors on the CPU reference
+// executor (concurrent groups on goroutines, merge stages as stacked
+// kernels) and returns the output tensor of the named node. Weights and
+// the input are generated deterministically from seed. It verifies the
+// result matches plain sequential execution and returns an error on any
+// divergence, making it a correctness check for generated schedules.
+func Execute(s *Schedule, outputNode string, seed int64) ([]float32, error) {
+	g := s.Graph
+	w := refexec.GenerateWeights(g, seed)
+	inputs := make(map[string]*tensor.Tensor)
+	for _, n := range g.Nodes {
+		if n.Op.Kind == graph.OpInput {
+			inputs[n.Name] = tensor.Random(n.Output, seed+int64(n.ID))
+		}
+	}
+	envSched, err := refexec.RunSchedule(s, w, inputs)
+	if err != nil {
+		return nil, err
+	}
+	envSeq, err := refexec.RunSequential(g, w, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := g.NodeByName(outputNode)
+	if out == nil {
+		return nil, &UnknownNodeError{Graph: g.Name, Node: outputNode}
+	}
+	got, want := envSched[out.ID], envSeq[out.ID]
+	if diff, err := tensor.MaxAbsDiff(got, want); err != nil {
+		return nil, err
+	} else if diff > 1e-3 {
+		return nil, &DivergenceError{Node: outputNode, MaxAbsDiff: diff}
+	}
+	return got.Data, nil
+}
+
+// UnknownNodeError reports a node name not present in the graph.
+type UnknownNodeError struct {
+	Graph, Node string
+}
+
+// Error implements error.
+func (e *UnknownNodeError) Error() string {
+	return "ios: graph " + e.Graph + " has no node named " + e.Node
+}
+
+// DivergenceError reports a schedule whose execution diverged from
+// sequential execution.
+type DivergenceError struct {
+	Node       string
+	MaxAbsDiff float64
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return "ios: schedule execution diverged from sequential at node " + e.Node
+}
+
+// MobileNetV2 builds MobileNetV2 (related-work lightweight design).
+func MobileNetV2(batch int) *Graph { return models.MobileNetV2(batch) }
+
+// ShuffleNet builds a ShuffleNet-v1-style network (related-work
+// lightweight design).
+func ShuffleNet(batch int) *Graph { return models.ShuffleNet(batch) }
