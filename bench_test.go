@@ -12,7 +12,12 @@ package ios_test
 // full configuration; expect a few tens of seconds each on one core.
 
 import (
+	"bytes"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"ios"
@@ -193,6 +198,126 @@ func BenchmarkMeasureSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := prof.MeasureSchedule(s); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Serving-layer benchmarks: the schedule cache on its hit path, its miss
+// path (a full IOS search of the requested model), and the end-to-end
+// HTTP /optimize endpoint under concurrent load — the request pattern a
+// deployed iosserve sees once schedules are warm.
+
+// BenchmarkScheduleCacheHit measures the cost of serving one schedule from
+// a warm cache (the steady-state cost per request of the serving tier).
+func BenchmarkScheduleCacheHit(b *testing.B) {
+	cache := ios.NewScheduleCache(16)
+	key := ios.CacheKey{Model: "inception", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
+	compute := func() (*ios.CacheEntry, error) {
+		g := ios.InceptionV3(1)
+		res, err := ios.Optimize(g, ios.V100, ios.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &ios.CacheEntry{Graph: g, Schedule: res.Schedule, Stats: res.Stats}, nil
+	}
+	if _, _, err := cache.GetOrCompute(key, compute); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, err := cache.GetOrCompute(key, compute); err != nil || !cached {
+			b.Fatalf("cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// BenchmarkScheduleCacheMiss measures the cold-path cost: every iteration
+// purges the cache, so each request pays a full Figure-2-block search.
+func BenchmarkScheduleCacheMiss(b *testing.B) {
+	cache := ios.NewScheduleCache(16)
+	key := ios.CacheKey{Model: "fig2", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
+	compute := func() (*ios.CacheEntry, error) {
+		g := ios.Figure2Block(1)
+		res, err := ios.Optimize(g, ios.V100, ios.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &ios.CacheEntry{Graph: g, Schedule: res.Schedule, Stats: res.Stats}, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Purge()
+		if _, cached, err := cache.GetOrCompute(key, compute); err != nil || cached {
+			b.Fatalf("cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// BenchmarkServeOptimizeWarm measures the HTTP /optimize endpoint on a
+// warm cache, requests issued concurrently (RunParallel), including JSON
+// encoding of the full Inception V3 schedule in every response.
+func BenchmarkServeOptimizeWarm(b *testing.B) {
+	srv := httptest.NewServer(ios.NewServer(ios.ServerConfig{}))
+	defer srv.Close()
+	body := []byte(`{"model": "inception", "batch": 1}`)
+	post := func() error {
+		resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeConcurrentCold measures request coalescing end to end:
+// each iteration starts a cold server and fires 8 simultaneous /optimize
+// requests for the same model, which the cache collapses into one search.
+func BenchmarkServeConcurrentCold(b *testing.B) {
+	body := []byte(`{"model": "fig2"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server := ios.NewServer(ios.ServerConfig{})
+		srv := httptest.NewServer(server)
+		var wg sync.WaitGroup
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+		}
+		wg.Wait()
+		srv.Close()
+		if st := server.Cache().Stats(); st.Misses != 1 {
+			b.Fatalf("misses = %d, want 1 (coalescing failed)", st.Misses)
 		}
 	}
 }

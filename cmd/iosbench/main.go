@@ -31,6 +31,11 @@ func main() {
 		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
 		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"iosbench regenerates the paper's tables and figures on the simulated devices (all of them by default; see -exp and -list).\n\nUsage: iosbench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *listFlag {

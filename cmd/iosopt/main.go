@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ios/internal/baseline"
 	"ios/internal/core"
@@ -24,7 +25,7 @@ import (
 func main() {
 	var (
 		graphFlag  = flag.String("graph", "", "path to a graph JSON file")
-		modelFlag  = flag.String("model", "", "zoo model: inception, randwire, nasnet, squeezenet, resnet34, resnet50, vgg16")
+		modelFlag  = flag.String("model", "", "zoo model: "+strings.Join(models.ZooNames(), ", "))
 		batchFlag  = flag.Int("batch", 1, "batch size (zoo models)")
 		deviceFlag = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
 		outFlag    = flag.String("o", "", "output schedule path (default stdout)")
@@ -32,6 +33,11 @@ func main() {
 		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "strategy set: both, parallel, merge")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"iosopt optimizes a computation graph with IOS and emits the schedule as JSON.\n\nUsage: iosopt -graph FILE | -model NAME [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	g, err := loadGraph(*graphFlag, *modelFlag, *batchFlag)
@@ -43,16 +49,11 @@ func main() {
 		fatal(fmt.Errorf("unknown device %q", *deviceFlag))
 	}
 	opts := core.Options{Pruning: core.Pruning{R: *rFlag, S: *sFlag}}
-	switch *strategy {
-	case "both":
-		opts.Strategies = core.Both
-	case "parallel":
-		opts.Strategies = core.ParallelOnly
-	case "merge":
-		opts.Strategies = core.MergeOnly
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	strat, err := core.ParseStrategySet(*strategy)
+	if err != nil {
+		fatal(err)
 	}
+	opts.Strategies = strat
 
 	prof := profile.New(spec)
 	res, err := core.Optimize(g, prof, opts)
@@ -100,18 +101,9 @@ func loadGraph(path, model string, batch int) (*graph.Graph, error) {
 		}
 		return graph.FromJSON(data)
 	case model != "":
-		builders := map[string]models.Builder{
-			"inception":  models.InceptionV3,
-			"randwire":   models.RandWire,
-			"nasnet":     models.NasNetA,
-			"squeezenet": models.SqueezeNet,
-			"resnet34":   models.ResNet34,
-			"resnet50":   models.ResNet50,
-			"vgg16":      models.VGG16,
-		}
-		b, ok := builders[model]
+		b, ok := models.ByName(model)
 		if !ok {
-			return nil, fmt.Errorf("unknown model %q", model)
+			return nil, fmt.Errorf("unknown model %q (known: %s)", model, strings.Join(models.ZooNames(), ", "))
 		}
 		return b(batch), nil
 	default:

@@ -1,0 +1,137 @@
+// Command iosserve runs the IOS schedule-serving HTTP daemon: a JSON API
+// that optimizes zoo models or submitted computation graphs on demand and
+// caches the resulting schedules, deduplicating concurrent requests for
+// the same (model, batch, device, options) so the optimizer runs once per
+// configuration:
+//
+//	iosserve                                    # serve :8080, V100
+//	iosserve -port 9090 -device 2080ti
+//	iosserve -warm inception,squeezenet -warm-batch 1,16
+//
+// Endpoints (see internal/serve for the request/response schemas):
+//
+//	POST /optimize  {"model": "inception_v3", "batch": 1}
+//	POST /measure   {"model": "inception_v3", "baseline": "sequential"}
+//	GET  /models
+//	GET  /stats
+//
+// Try it:
+//
+//	curl -s localhost:8080/optimize -d '{"model": "inception_v3"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/serve"
+)
+
+func main() {
+	var (
+		portFlag   = flag.Int("port", 8080, "TCP port to listen on")
+		hostFlag   = flag.String("host", "", "host/interface to bind (default: all)")
+		deviceFlag = flag.String("device", "v100", "default device: v100, k80, 2080ti, 1080, 980ti, a100")
+		cacheFlag  = flag.Int("cache", serve.DefaultCacheSize, "schedule-cache capacity in entries (0 = unbounded)")
+		warmFlag   = flag.String("warm", "", "comma-separated zoo models to precompute on start (\"paper\" = the four benchmarks)")
+		warmBatch  = flag.String("warm-batch", "1", "comma-separated batch sizes for -warm")
+		rFlag      = flag.Int("r", 3, "default pruning: max operators per group")
+		sFlag      = flag.Int("s", 8, "default pruning: max groups per stage")
+		strategy   = flag.String("strategy", "both", "default strategy set: both, parallel, merge")
+		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"iosserve serves IOS schedules over HTTP (POST /optimize, POST /measure, GET /models, GET /stats).\n\nUsage: iosserve [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	spec, ok := gpusim.SpecByName(*deviceFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown device %q", *deviceFlag))
+	}
+	strat, err := core.ParseStrategySet(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		Device:  spec,
+		Options: core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}},
+		Cache:   serve.NewScheduleCache(*cacheFlag),
+	}
+	if !*quietFlag {
+		cfg.Logf = log.New(os.Stderr, "iosserve: ", log.LstdFlags).Printf
+	}
+	srv := serve.NewServer(cfg)
+
+	if *warmFlag != "" {
+		names, err := warmList(*warmFlag)
+		if err != nil {
+			fatal(err)
+		}
+		batches, err := intList(*warmBatch)
+		if err != nil {
+			fatal(fmt.Errorf("-warm-batch: %w", err))
+		}
+		desc := fmt.Sprintf("%d model(s)", len(names))
+		if names == nil {
+			desc = "the paper benchmarks"
+		}
+		log.Printf("iosserve: warming %s at batch sizes %v on %s", desc, batches, spec.Name)
+		if err := srv.Warm(names, batches); err != nil {
+			fatal(err)
+		}
+	}
+
+	addr := *hostFlag + ":" + strconv.Itoa(*portFlag)
+	log.Printf("iosserve: serving %s schedules on %s", spec.Name, addr)
+	if err := http.ListenAndServe(addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// warmList expands the -warm value ("paper" = the benchmark set).
+func warmList(v string) ([]string, error) {
+	if v == "paper" {
+		return nil, nil // serve.Warm's default: the four paper benchmarks
+	}
+	var names []string
+	for _, n := range strings.Split(v, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-warm: empty model list")
+	}
+	return names, nil
+}
+
+// intList parses a comma-separated list of positive ints.
+func intList(v string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad batch size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iosserve:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ios/internal/chrometrace"
 	"ios/internal/core"
@@ -22,13 +23,18 @@ import (
 
 func main() {
 	var (
-		modelFlag  = flag.String("model", "", "zoo model: inception, inception-e, fig2, randwire, nasnet, squeezenet")
+		modelFlag  = flag.String("model", "", "zoo model: "+strings.Join(models.ZooNames(), ", "))
 		graphFlag  = flag.String("graph", "", "path to a graph JSON file")
 		schedFlag  = flag.String("schedule", "", "schedule JSON to visualize (default: run IOS)")
 		batchFlag  = flag.Int("batch", 1, "batch size")
 		deviceFlag = flag.String("device", "v100", "device for stage profiles")
 		traceFlag  = flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the execution")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"iosviz renders a schedule (or an optimized zoo model) as a stage-by-stage text diagram with per-stage profiles.\n\nUsage: iosviz -model NAME | -graph FILE [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var g *graph.Graph
@@ -44,17 +50,9 @@ func main() {
 		}
 		g = gg
 	case *modelFlag != "":
-		builders := map[string]models.Builder{
-			"inception":   models.InceptionV3,
-			"inception-e": models.InceptionE,
-			"fig2":        models.Figure2Block,
-			"randwire":    models.RandWire,
-			"nasnet":      models.NasNetA,
-			"squeezenet":  models.SqueezeNet,
-		}
-		b, ok := builders[*modelFlag]
+		b, ok := models.ByName(*modelFlag)
 		if !ok {
-			fatal(fmt.Errorf("unknown model %q", *modelFlag))
+			fatal(fmt.Errorf("unknown model %q (known: %s)", *modelFlag, strings.Join(models.ZooNames(), ", ")))
 		}
 		g = b(*batchFlag)
 	default:

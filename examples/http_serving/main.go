@@ -1,0 +1,79 @@
+// HTTP serving: the production-shaped loop around IOS — a schedule server
+// is mounted in-process, a fleet of clients races to optimize the same
+// model, and the schedule cache collapses all of their searches into one.
+// The example then specializes the same model for a second batch size and
+// device (two more cache entries), mirroring the paper's observation that
+// schedules must be specialized per (model, batch size, device) but each
+// specialization is computed once and reused forever.
+//
+//	go run ./examples/http_serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"ios"
+)
+
+func main() {
+	server := ios.NewServer(ios.ServerConfig{})
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	// 16 clients ask for the same configuration at once; the cache's
+	// request coalescing means exactly one IOS search runs.
+	const clients = 16
+	var wg sync.WaitGroup
+	responses := make([]ios.OptimizeResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i] = optimize(ts.URL, ios.OptimizeRequest{Model: "inception_v3", Batch: 1})
+		}(i)
+	}
+	wg.Wait()
+
+	first := responses[0]
+	fmt.Printf("%d clients -> %s on %s: %d stages, %.3f ms (sequential %.3f ms, %.2fx)\n",
+		clients, first.Model, first.Device, first.Summary.Stages,
+		first.LatencyMS, first.SequentialMS, first.Speedup)
+	st := server.Cache().Stats()
+	fmt.Printf("cache after the stampede: %d miss (the one real search), %d served without searching\n",
+		st.Misses, st.Hits+st.Coalesced)
+
+	// Batch and device specialization: each distinct key is one more
+	// search, cached independently.
+	b16 := optimize(ts.URL, ios.OptimizeRequest{Model: "inception_v3", Batch: 16})
+	k80 := optimize(ts.URL, ios.OptimizeRequest{Model: "inception_v3", Device: "k80"})
+	fmt.Printf("batch 16 on %s: %.3f ms (%.0f img/s)\n", b16.Device, b16.LatencyMS, b16.Throughput)
+	fmt.Printf("batch 1 on %s:  %.3f ms (%.0f img/s)\n", k80.Device, k80.LatencyMS, k80.Throughput)
+	fmt.Printf("cache now holds %d schedule(s)\n", server.Cache().Len())
+}
+
+// optimize POSTs one /optimize request and decodes the response.
+func optimize(base string, req ios.OptimizeRequest) ios.OptimizeResponse {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ios.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("optimize: status %d", resp.StatusCode)
+	}
+	return out
+}

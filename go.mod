@@ -1,0 +1,3 @@
+module ios
+
+go 1.21

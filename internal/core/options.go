@@ -9,7 +9,10 @@
 // ("concurrent execution" vs "operator merge") for each candidate stage.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // StrategySet selects which parallelization strategies GENERATESTAGE may
 // use, matching the paper's IOS-Parallel / IOS-Merge / IOS-Both variants
@@ -41,14 +44,45 @@ func (s StrategySet) String() string {
 	}
 }
 
+// ParseStrategySet maps a strategy name to its StrategySet. It accepts the
+// short CLI spellings ("both", "parallel", "merge") and the paper's figure
+// legends ("IOS-Both", ...), case-insensitively; the empty string selects
+// the default (Both).
+func ParseStrategySet(name string) (StrategySet, error) {
+	switch strings.ToLower(name) {
+	case "", "both", "ios-both":
+		return Both, nil
+	case "parallel", "ios-parallel":
+		return ParallelOnly, nil
+	case "merge", "ios-merge":
+		return MergeOnly, nil
+	}
+	return Both, fmt.Errorf("core: unknown strategy set %q (want both, parallel, or merge)", name)
+}
+
+// MarshalText implements encoding.TextMarshaler, so Options round-trips
+// through JSON with readable strategy names.
+func (s StrategySet) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler; it accepts anything
+// ParseStrategySet does.
+func (s *StrategySet) UnmarshalText(text []byte) error {
+	v, err := ParseStrategySet(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Pruning is the schedule-pruning strategy P of Section 4.3: an ending S'
 // satisfies P iff it has at most S groups and each group has at most R
 // operators. The paper's default is r=3, s=8.
 type Pruning struct {
 	// R bounds operators per group (0 = unbounded).
-	R int
+	R int `json:"r,omitempty"`
 	// S bounds groups per stage (0 = unbounded).
-	S int
+	S int `json:"s,omitempty"`
 }
 
 // DefaultPruning is the paper's evaluation setting (r = 3, s = 8).
@@ -57,35 +91,43 @@ var DefaultPruning = Pruning{R: 3, S: 8}
 // NoPruning explores the full schedule space.
 var NoPruning = Pruning{}
 
-// String renders "r=3,s=8" or "none".
+// String renders "r=3,s=8" or "none". Non-positive bounds (0 unset, -1
+// explicitly unbounded) both render as 0.
 func (p Pruning) String() string {
-	if p.R == 0 && p.S == 0 {
+	if p.R <= 0 && p.S <= 0 {
 		return "none"
 	}
-	return fmt.Sprintf("r=%d,s=%d", p.R, p.S)
+	return fmt.Sprintf("r=%d,s=%d", max(p.R, 0), max(p.S, 0))
 }
 
 // maxStageOps returns the largest stage size admissible under the pruning,
-// used to cut the ending enumeration early.
+// used to cut the ending enumeration early. Non-positive bounds are
+// unbounded.
 func (p Pruning) maxStageOps() int {
-	if p.R == 0 || p.S == 0 {
+	if p.R <= 0 || p.S <= 0 {
 		return 1 << 30
 	}
 	return p.R * p.S
 }
 
-// Options configures Optimize.
+// Options configures Optimize. The JSON form (used by the serving API and
+// stored schedule recipes) spells Strategies as a name ("IOS-Both", or the
+// short "both"/"parallel"/"merge") via StrategySet's text marshaling.
 type Options struct {
 	// Strategies selects the IOS variant (default Both).
-	Strategies StrategySet
+	Strategies StrategySet `json:"strategies,omitempty"`
 	// Pruning bounds the ending enumeration (default r=3, s=8; use
 	// NoPruning for the exhaustive search).
-	Pruning Pruning
+	Pruning Pruning `json:"pruning,omitempty"`
 	// MaxBlockOps caps the block partition size (0 = bitset limit).
-	MaxBlockOps int
+	MaxBlockOps int `json:"max_block_ops,omitempty"`
 }
 
-// withDefaults fills unset options.
+// withDefaults fills unset options. It is idempotent: explicit unbounded
+// bounds stay -1 (NOT normalized to 0, which would make them
+// indistinguishable from the zero value and silently re-defaulted on a
+// second application), and every consumer of Pruning treats non-positive
+// bounds as unbounded.
 func (o Options) withDefaults() Options {
 	if o.Pruning == (Pruning{}) {
 		// Zero-value Options means "paper defaults"; explicit NoPruning
@@ -94,15 +136,29 @@ func (o Options) withDefaults() Options {
 		// no pruning set R and S to -1.
 		o.Pruning = DefaultPruning
 	}
-	if o.Pruning.R < 0 {
-		o.Pruning.R = 0
-	}
-	if o.Pruning.S < 0 {
-		o.Pruning.S = 0
-	}
 	return o
 }
 
+// Canonical returns the options as Optimize will interpret them: defaults
+// filled in, idempotently (negative pruning bounds are preserved as-is;
+// every consumer treats non-positive bounds as unbounded). Two Options
+// with the same Canonical form produce identical searches; for a
+// normalized identity string — under which all "unbounded" spellings
+// collapse — use Fingerprint, which is what schedule caches key on.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
+// Fingerprint renders the canonical options as a short stable string
+// ("IOS-Both/r=3,s=8" or "IOS-Both/r=3,s=8/block=40"), suitable as a
+// cache-key component.
+func (o Options) Fingerprint() string {
+	c := o.Canonical()
+	s := c.Strategies.String() + "/" + c.Pruning.String()
+	if c.MaxBlockOps > 0 {
+		s += fmt.Sprintf("/block=%d", c.MaxBlockOps)
+	}
+	return s
+}
+
 // Unpruned is the Options value for an exhaustive search: negative bounds
-// normalize to "unbounded" (see withDefaults).
+// mean "explicitly unbounded" (see withDefaults).
 var Unpruned = Options{Pruning: Pruning{R: -1, S: -1}}

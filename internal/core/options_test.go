@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"ios/internal/graph"
@@ -34,10 +36,14 @@ func TestWithDefaults(t *testing.T) {
 	if o.Pruning != DefaultPruning {
 		t.Errorf("zero options pruning = %v", o.Pruning)
 	}
-	// Unpruned normalizes negative bounds to unbounded.
+	// Unpruned keeps its explicit -1 bounds (unbounded), and applying
+	// defaults again must not resurrect the default pruning.
 	u := Unpruned.withDefaults()
-	if u.Pruning.R != 0 || u.Pruning.S != 0 {
-		t.Errorf("unpruned normalized to %v", u.Pruning)
+	if u.Pruning.R > 0 || u.Pruning.S > 0 {
+		t.Errorf("unpruned gained bounds: %v", u.Pruning)
+	}
+	if again := u.withDefaults(); again != u {
+		t.Errorf("withDefaults is not idempotent: %+v -> %+v", u, again)
 	}
 	// Explicit pruning is preserved.
 	p := Options{Pruning: Pruning{R: 2, S: 5}}.withDefaults()
@@ -66,5 +72,68 @@ func TestOptimizeEmptyGraph(t *testing.T) {
 	}
 	if res.Schedule.NumStages() != 0 {
 		t.Errorf("empty graph produced %d stages", res.Schedule.NumStages())
+	}
+}
+
+func TestParseStrategySet(t *testing.T) {
+	cases := map[string]StrategySet{
+		"":             Both,
+		"both":         Both,
+		"IOS-Both":     Both,
+		"parallel":     ParallelOnly,
+		"ios-parallel": ParallelOnly,
+		"Merge":        MergeOnly,
+		"IOS-Merge":    MergeOnly,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategySet(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategySet(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategySet("quantum"); err == nil {
+		t.Error("ParseStrategySet accepted an unknown name")
+	}
+}
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	in := Options{Strategies: MergeOnly, Pruning: Pruning{R: 2, S: 4}, MaxBlockOps: 30}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"IOS-Merge"`) {
+		t.Errorf("strategy not serialized by name: %s", data)
+	}
+	var out Options
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+	// The short CLI spellings parse too.
+	var short Options
+	if err := json.Unmarshal([]byte(`{"strategies": "parallel"}`), &short); err != nil {
+		t.Fatal(err)
+	}
+	if short.Strategies != ParallelOnly {
+		t.Errorf("short spelling parsed to %v", short.Strategies)
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	if got := (Options{}).Fingerprint(); got != "IOS-Both/r=3,s=8" {
+		t.Errorf("zero options fingerprint = %q", got)
+	}
+	if got := Unpruned.Fingerprint(); got != "IOS-Both/none" {
+		t.Errorf("unpruned fingerprint = %q", got)
+	}
+	if got := (Options{Strategies: ParallelOnly, MaxBlockOps: 40}).Fingerprint(); got != "IOS-Parallel/r=3,s=8/block=40" {
+		t.Errorf("fingerprint = %q", got)
+	}
+	// Equal canonical forms fingerprint identically.
+	if (Options{}).Fingerprint() != (Options{Pruning: DefaultPruning}).Fingerprint() {
+		t.Error("default and explicit-default options fingerprint differently")
 	}
 }

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 )
@@ -67,6 +69,20 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		out.Nodes = append(out.Nodes, jn)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// Fingerprint returns a short stable content hash of the graph (16 hex
+// digits of the SHA-256 of its canonical JSON form). Two graphs with the
+// same structure, operator parameters, and node names share a fingerprint,
+// so it can key caches of per-graph artifacts such as optimized schedules.
+// The batch size is part of the input shapes and therefore of the hash.
+func (g *Graph) Fingerprint() (string, error) {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]), nil
 }
 
 // FromJSON reconstructs a graph. Nodes must appear in topological order.

@@ -74,3 +74,55 @@ func TestFromJSONDefaults(t *testing.T) {
 		t.Errorf("shape = %v", c.Output)
 	}
 }
+
+func TestFingerprintStability(t *testing.T) {
+	build := func() *Graph {
+		g := New("fp")
+		in := g.Input("in", Shape{N: 1, C: 3, H: 8, W: 8})
+		g.Conv("c1", in, ConvOpts{Out: 4, Kernel: 3})
+		return g
+	}
+	a := build()
+	b := build()
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("identical graphs fingerprint differently: %s vs %s", fa, fb)
+	}
+	if len(fa) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex digits", fa)
+	}
+	// A structural change (different batch) changes the hash.
+	c := New("fp")
+	in := c.Input("in", Shape{N: 2, C: 3, H: 8, W: 8})
+	c.Conv("c1", in, ConvOpts{Out: 4, Kernel: 3})
+	fc, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc == fa {
+		t.Error("different graphs share a fingerprint")
+	}
+	// The fingerprint survives a JSON round trip of the graph.
+	data, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fback, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fback != fa {
+		t.Errorf("fingerprint changed across JSON round trip: %s vs %s", fback, fa)
+	}
+}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"strings"
 	"testing"
 
 	"ios/internal/graph"
@@ -246,5 +247,34 @@ func TestShuffleNetGroupedChannels(t *testing.T) {
 				t.Errorf("node %s: bad grouping %d for %d->%d", n.Name, n.Op.Groups, in.C, n.Op.OutChannels)
 			}
 		}
+	}
+}
+
+func TestRegistryResolvesEveryEntryAndAlias(t *testing.T) {
+	for _, e := range Zoo() {
+		for _, name := range append([]string{e.Name, e.Display, strings.ToUpper(e.Name)}, e.Aliases...) {
+			got, ok := EntryByName(name)
+			if !ok {
+				t.Errorf("EntryByName(%q) not found", name)
+				continue
+			}
+			if got.Name != e.Name {
+				t.Errorf("EntryByName(%q) = %q, want %q", name, got.Name, e.Name)
+			}
+		}
+		// Every registered builder produces a valid graph.
+		g := e.Build(1)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", e.Name, err)
+		}
+	}
+	if _, ok := ByName("alexnet"); ok {
+		t.Error("ByName resolved an unregistered model")
+	}
+	if b, ok := ByName("inception_v3"); !ok || b == nil {
+		t.Error("the inception_v3 alias must resolve")
+	}
+	if len(ZooNames()) != len(Zoo()) {
+		t.Error("ZooNames length mismatch")
 	}
 }

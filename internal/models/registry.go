@@ -1,0 +1,73 @@
+package models
+
+import "strings"
+
+// Name → builder registry shared by the CLI tools (cmd/iosopt, cmd/iosviz,
+// cmd/iosserve) and the serving layer, so every surface accepts the same
+// model names.
+
+// ZooEntry describes one network of the model zoo.
+type ZooEntry struct {
+	// Name is the canonical lookup key ("inception", "randwire", ...).
+	Name string
+	// Display is the paper's display name ("Inception V3", ...).
+	Display string
+	// Aliases are additional accepted spellings.
+	Aliases []string
+	// Build constructs the network at a batch size.
+	Build Builder
+}
+
+// Zoo lists every network reachable by name, the paper's four benchmarks
+// first, in a stable order.
+func Zoo() []ZooEntry {
+	return []ZooEntry{
+		{Name: "inception", Display: "Inception V3", Aliases: []string{"inception_v3", "inceptionv3"}, Build: InceptionV3},
+		{Name: "randwire", Display: "RandWire", Build: RandWire},
+		{Name: "nasnet", Display: "NasNet", Aliases: []string{"nasneta", "nasnet-a"}, Build: NasNetA},
+		{Name: "squeezenet", Display: "SqueezeNet", Build: SqueezeNet},
+		{Name: "resnet34", Display: "ResNet-34", Build: ResNet34},
+		{Name: "resnet50", Display: "ResNet-50", Build: ResNet50},
+		{Name: "vgg16", Display: "VGG-16", Build: VGG16},
+		{Name: "mobilenetv2", Display: "MobileNetV2", Aliases: []string{"mobilenet"}, Build: MobileNetV2},
+		{Name: "shufflenet", Display: "ShuffleNet", Build: ShuffleNet},
+		{Name: "inception-e", Display: "Inception E block", Aliases: []string{"inceptione"}, Build: InceptionE},
+		{Name: "fig2", Display: "Figure-2 block", Aliases: []string{"figure2"}, Build: Figure2Block},
+	}
+}
+
+// ZooNames returns the canonical names in Zoo order.
+func ZooNames() []string {
+	entries := Zoo()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// ByName resolves a model name (canonical, alias, or display, matched
+// case-insensitively) to its builder.
+func ByName(name string) (Builder, bool) {
+	e, ok := EntryByName(name)
+	if !ok {
+		return nil, false
+	}
+	return e.Build, true
+}
+
+// EntryByName resolves a model name to its full zoo entry.
+func EntryByName(name string) (ZooEntry, bool) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range Zoo() {
+		if e.Name == want || strings.ToLower(e.Display) == want {
+			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == want {
+				return e, true
+			}
+		}
+	}
+	return ZooEntry{}, false
+}

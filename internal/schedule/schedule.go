@@ -99,6 +99,35 @@ type Schedule struct {
 // NumStages returns the stage count.
 func (s *Schedule) NumStages() int { return len(s.Stages) }
 
+// Summary condenses a schedule's shape into the few numbers that reports
+// and serving responses quote: how many stages of each strategy, the
+// operator count, and the widest stage (its group count, i.e. how many
+// streams the schedule ever occupies at once).
+type Summary struct {
+	Stages           int `json:"stages"`
+	Ops              int `json:"ops"`
+	ConcurrentStages int `json:"concurrent_stages"`
+	MergeStages      int `json:"merge_stages"`
+	MaxWidth         int `json:"max_width"`
+}
+
+// Summarize computes the schedule's Summary.
+func (s *Schedule) Summarize() Summary {
+	sum := Summary{Stages: len(s.Stages)}
+	for _, st := range s.Stages {
+		sum.Ops += st.NumOps()
+		if st.Strategy == Merge {
+			sum.MergeStages++
+		} else {
+			sum.ConcurrentStages++
+		}
+		if w := len(st.Groups); w > sum.MaxWidth {
+			sum.MaxWidth = w
+		}
+	}
+	return sum
+}
+
 // String renders one stage per line.
 func (s *Schedule) String() string {
 	var b strings.Builder

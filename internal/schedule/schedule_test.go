@@ -168,3 +168,20 @@ func TestStrategyString(t *testing.T) {
 		t.Error("strategy names changed")
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	g, n := diamond()
+	s := &Schedule{Graph: g, Stages: []Stage{
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["a"]}, {n["d"]}}},
+		{Strategy: Merge, Groups: [][]*graph.Node{{n["b"], n["c"]}}},
+		{Strategy: Concurrent, Groups: [][]*graph.Node{{n["cat"]}}},
+	}}
+	got := s.Summarize()
+	want := Summary{Stages: 3, Ops: 5, ConcurrentStages: 2, MergeStages: 1, MaxWidth: 2}
+	if got != want {
+		t.Errorf("Summarize() = %+v, want %+v", got, want)
+	}
+	if empty := (&Schedule{Graph: g}).Summarize(); empty != (Summary{}) {
+		t.Errorf("empty schedule summary = %+v", empty)
+	}
+}

@@ -1,0 +1,297 @@
+// Package serve is the schedule-serving layer: it wraps the IOS optimizer
+// (internal/core) behind a concurrent, deduplicating schedule cache and an
+// HTTP JSON API, turning the one-shot "optimize a graph" library into a
+// long-running service. The paper's workload shape motivates both pieces:
+// a schedule is found once per (model, batch size, device) and then reused
+// across millions of inferences, so a serving tier needs exactly one
+// optimization run per distinct configuration no matter how many requests
+// race for it, and a bounded memory of recipes after that.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ios/internal/core"
+	"ios/internal/graph"
+	"ios/internal/schedule"
+)
+
+// Key identifies one cached schedule: the paper's specialization axes
+// (model identity, batch size, device) plus the search configuration.
+type Key struct {
+	// Model is the zoo model name, or "graph:<fingerprint>" for custom
+	// graphs submitted by value.
+	Model string
+	// Batch is the input batch size.
+	Batch int
+	// Device is the canonical device name (gpusim.Spec.Name).
+	Device string
+	// Opts is the canonical options fingerprint (core.Options.Fingerprint).
+	Opts string
+}
+
+// String renders the key for logs and stats.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/b%d/%s/%s", k.Model, k.Batch, k.Device, k.Opts)
+}
+
+// Entry is one cached optimization result: the schedule recipe together
+// with the measurements a serving response reports.
+type Entry struct {
+	// Key the entry was computed under.
+	Key Key
+	// Graph is the computation graph the schedule targets.
+	Graph *graph.Graph
+	// Schedule is the IOS-optimized execution plan.
+	Schedule *schedule.Schedule
+	// Stats is the search cost of producing it.
+	Stats core.Stats
+	// Latency is the schedule's simulated end-to-end latency (seconds).
+	Latency float64
+	// SequentialLatency is the sequential baseline's latency (seconds),
+	// kept so responses can quote the speedup without re-measuring.
+	SequentialLatency float64
+	// ScheduleJSON is the schedule pre-serialized at compute time, so
+	// cache hits on the serving hot path skip re-marshaling. Optional:
+	// nil means serialize on demand.
+	ScheduleJSON []byte
+	// Summary is the schedule's precomputed shape summary (valid when
+	// ScheduleJSON is set).
+	Summary schedule.Summary
+	// ComputedAt stamps when the optimization ran.
+	ComputedAt time.Time
+}
+
+// CacheStats counts cache traffic. All counters are cumulative since the
+// cache was created.
+type CacheStats struct {
+	// Size and Capacity describe the resident set (Capacity 0 =
+	// unbounded).
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	// Hits served a completed entry without waiting.
+	Hits int64 `json:"hits"`
+	// Misses ran the optimizer.
+	Misses int64 `json:"misses"`
+	// Coalesced requests arrived while the same key was being computed
+	// and waited for that in-flight run instead of starting their own —
+	// the singleflight dedup count.
+	Coalesced int64 `json:"coalesced"`
+	// Evictions removed least-recently-used entries over capacity.
+	Evictions int64 `json:"evictions"`
+	// Errors counts failed computations (failures are not cached).
+	Errors int64 `json:"errors"`
+}
+
+// slot is one cache cell. A slot is published to the map before its
+// computation runs; done is closed when entry/err are final.
+type slot struct {
+	done     chan struct{}
+	entry    *Entry
+	err      error
+	lastUsed int64 // LRU clock value, guarded by the cache mutex
+}
+
+// ScheduleCache is a concurrent schedule cache with request coalescing:
+// any number of goroutines may ask for the same Key concurrently and
+// exactly one of them runs the optimizer while the rest wait for its
+// result (singleflight semantics). Completed entries are retained under an
+// LRU policy up to the configured capacity. The zero value is not usable;
+// call NewScheduleCache.
+type ScheduleCache struct {
+	mu      sync.Mutex
+	cap     int
+	slots   map[Key]*slot
+	clock   int64
+	hits    int64
+	misses  int64
+	coal    int64
+	evicted int64
+	errs    int64
+}
+
+// NewScheduleCache returns a cache holding up to capacity completed
+// entries (capacity <= 0 means unbounded).
+func NewScheduleCache(capacity int) *ScheduleCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &ScheduleCache{cap: capacity, slots: make(map[Key]*slot)}
+}
+
+// GetOrCompute returns the entry for key, running compute at most once per
+// key no matter how many goroutines call concurrently: the first caller
+// computes, every concurrent caller for the same key blocks until that
+// single run finishes, and later callers hit the stored entry. cached
+// reports whether this caller avoided running compute itself. A compute
+// error is returned to every waiting caller but is not cached, so the next
+// request retries.
+func (c *ScheduleCache) GetOrCompute(key Key, compute func() (*Entry, error)) (e *Entry, cached bool, err error) {
+	c.mu.Lock()
+	for {
+		s, ok := c.slots[key]
+		if !ok {
+			break
+		}
+		select {
+		case <-s.done:
+			if s.err != nil {
+				// A failed run raced ahead of its own cleanup;
+				// drop it and compute afresh.
+				delete(c.slots, key)
+				continue
+			}
+			// Completed entry: a plain hit.
+			c.hits++
+			c.clock++
+			s.lastUsed = c.clock
+			c.mu.Unlock()
+			return s.entry, true, nil
+		default:
+			// In flight: coalesce onto the running computation.
+			c.coal++
+			c.mu.Unlock()
+			<-s.done
+			return s.entry, true, s.err
+		}
+	}
+	s := &slot{done: make(chan struct{})}
+	c.misses++
+	c.clock++
+	s.lastUsed = c.clock
+	c.slots[key] = s
+	c.mu.Unlock()
+
+	// A compute panic must not leave the slot's done channel open:
+	// coalesced waiters block on it forever and — since the slot would
+	// stay resident — so would every future request for the key. Convert
+	// the panic to an error so waiters unblock and the key stays
+	// retryable.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.entry, s.err = nil, fmt.Errorf("serve: schedule computation panicked: %v", r)
+			}
+			if s.entry != nil {
+				s.entry.Key = key
+			}
+			close(s.done)
+		}()
+		s.entry, s.err = compute()
+	}()
+
+	c.mu.Lock()
+	if s.err != nil {
+		c.errs++
+		// Delete only our own slot: between close(done) and here, a new
+		// caller may have observed the failure, removed this slot, and
+		// installed a fresh in-flight one — which must not be torn down.
+		if c.slots[key] == s {
+			delete(c.slots, key) // failures are retried, not cached
+		}
+	} else {
+		c.evictOverCapLocked()
+	}
+	c.mu.Unlock()
+	return s.entry, false, s.err
+}
+
+// Peek returns the completed entry for key without computing, and without
+// touching LRU order or hit/miss counters. It reports false for absent and
+// still-in-flight keys.
+func (c *ScheduleCache) Peek(key Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.slots[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-s.done:
+		if s.err != nil {
+			return nil, false
+		}
+		return s.entry, true
+	default:
+		return nil, false
+	}
+}
+
+// Len returns the number of resident slots (completed or in flight).
+func (c *ScheduleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}
+
+// Keys returns the resident keys in unspecified order.
+func (c *ScheduleCache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.slots))
+	for k := range c.slots {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Purge drops every completed entry (in-flight computations are left to
+// finish and remain cached).
+func (c *ScheduleCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, s := range c.slots {
+		select {
+		case <-s.done:
+			delete(c.slots, k)
+		default:
+		}
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *ScheduleCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      len(c.slots),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coal,
+		Evictions: c.evicted,
+		Errors:    c.errs,
+	}
+}
+
+// evictOverCapLocked removes least-recently-used completed slots until the
+// resident set fits the capacity. In-flight slots are never evicted (they
+// have waiters). Caller holds c.mu.
+func (c *ScheduleCache) evictOverCapLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.slots) > c.cap {
+		var (
+			oldestKey Key
+			oldest    *slot
+		)
+		for k, s := range c.slots {
+			select {
+			case <-s.done:
+			default:
+				continue // in flight
+			}
+			if oldest == nil || s.lastUsed < oldest.lastUsed {
+				oldestKey, oldest = k, s
+			}
+		}
+		if oldest == nil {
+			return // everything resident is in flight
+		}
+		delete(c.slots, oldestKey)
+		c.evicted++
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/models"
+	"ios/internal/profile"
+)
+
+func testKey(model string, batch int) Key {
+	return Key{Model: model, Batch: batch, Device: "Tesla V100", Opts: core.Options{}.Fingerprint()}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewScheduleCache(8)
+	calls := 0
+	compute := func() (*Entry, error) { calls++; return &Entry{}, nil }
+
+	if _, cached, err := c.GetOrCompute(testKey("a", 1), compute); err != nil || cached {
+		t.Fatalf("first get: cached=%v err=%v, want miss", cached, err)
+	}
+	if _, cached, err := c.GetOrCompute(testKey("a", 1), compute); err != nil || !cached {
+		t.Fatalf("second get: cached=%v err=%v, want hit", cached, err)
+	}
+	if _, cached, _ := c.GetOrCompute(testKey("a", 2), compute); cached {
+		t.Fatal("different batch should miss")
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 misses, size 2", st)
+	}
+}
+
+// TestCacheDeduplicatesConcurrentRequests is the serving layer's core
+// guarantee: N goroutines racing for the same (model, batch, device) key
+// trigger exactly one optimization run. The run is a real core.Optimize of
+// the paper's Figure-2 block, and the single-run assertion is made both on
+// the compute-call count and on the profiler measurement count embedded in
+// the shared entry's SearchStats (every caller sees the same stats because
+// the search happened once).
+func TestCacheDeduplicatesConcurrentRequests(t *testing.T) {
+	const N = 32
+	c := NewScheduleCache(8)
+	key := testKey("fig2", 1)
+
+	var computeCalls, totalMeasurements atomic.Int64
+	compute := func() (*Entry, error) {
+		computeCalls.Add(1)
+		g := models.Figure2Block(1)
+		prof := profile.New(gpusim.TeslaV100)
+		res, err := core.Optimize(g, prof, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		totalMeasurements.Add(int64(res.Stats.Measurements))
+		return &Entry{Graph: g, Schedule: res.Schedule, Stats: res.Stats}, nil
+	}
+
+	// A start barrier maximizes the racing window.
+	start := make(chan struct{})
+	entries := make([]*Entry, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			e, _, err := c.GetOrCompute(key, compute)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := computeCalls.Load(); n != 1 {
+		t.Fatalf("optimizer ran %d times for %d concurrent requests, want exactly 1", n, N)
+	}
+	for i, e := range entries {
+		if e == nil || e != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", i)
+		}
+	}
+	// All N requesters observe the one search's measurement count.
+	if got, want := totalMeasurements.Load(), int64(entries[0].Stats.Measurements); got != want {
+		t.Fatalf("profiler measurements across all requests = %d, want the single run's %d", got, want)
+	}
+	if entries[0].Stats.Measurements == 0 {
+		t.Fatal("the one real search reported zero profiler measurements")
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Coalesced != N-1 {
+		t.Fatalf("hits (%d) + coalesced (%d) = %d, want %d", st.Hits, st.Coalesced, st.Hits+st.Coalesced, N-1)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewScheduleCache(8)
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, err := c.GetOrCompute(testKey("a", 1), func() (*Entry, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, cached, err := c.GetOrCompute(testKey("a", 1), func() (*Entry, error) { calls++; return &Entry{}, nil }); err != nil || cached {
+		t.Fatalf("retry after error: cached=%v err=%v, want fresh compute", cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (failure must not be cached)", calls)
+	}
+	st := c.Stats()
+	if st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewScheduleCache(2)
+	get := func(model string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(testKey(model, 1), func() (*Entry, error) { return &Entry{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now the LRU entry
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Peek(testKey("b", 1)); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, m := range []string{"a", "c"} {
+		if _, ok := c.Peek(testKey(m, 1)); !ok {
+			t.Fatalf("%s should be resident", m)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCachePurgeAndKeys(t *testing.T) {
+	c := NewScheduleCache(0)
+	for i := 0; i < 5; i++ {
+		model := fmt.Sprintf("m%d", i)
+		c.GetOrCompute(testKey(model, 1), func() (*Entry, error) { return &Entry{}, nil })
+	}
+	if len(c.Keys()) != 5 {
+		t.Fatalf("keys = %d, want 5 (capacity 0 = unbounded)", len(c.Keys()))
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d, want 0", c.Len())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Model: "inception", Batch: 16, Device: "Tesla V100", Opts: "IOS-Both/r=3,s=8"}
+	want := "inception/b16/Tesla V100/IOS-Both/r=3,s=8"
+	if got := k.String(); got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+}
+
+// TestCachePanicInComputeDoesNotPoisonKey guards against a stuck slot: a
+// panicking computation must unblock coalesced waiters with an error and
+// leave the key retryable instead of deadlocking it forever.
+func TestCachePanicInComputeDoesNotPoisonKey(t *testing.T) {
+	c := NewScheduleCache(8)
+	key := testKey("a", 1)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var panicErr, waiterErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, panicErr = c.GetOrCompute(key, func() (*Entry, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-started // the slot is registered and compute is in flight
+		_, _, waiterErr = c.GetOrCompute(key, func() (*Entry, error) {
+			t.Error("waiter ran its own compute while one was in flight")
+			return &Entry{}, nil
+		})
+	}()
+	<-started
+	// Release the panic only once the waiter has provably coalesced onto
+	// the in-flight slot (it bumps Coalesced under the lock before
+	// blocking on the slot's done channel).
+	for c.Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for who, err := range map[string]error{"computer": panicErr, "waiter": waiterErr} {
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("%s error = %v, want computation-panicked error", who, err)
+		}
+	}
+	// The key is retryable, not poisoned.
+	if _, cached, err := c.GetOrCompute(key, func() (*Entry, error) { return &Entry{}, nil }); err != nil || cached {
+		t.Fatalf("retry after panic: cached=%v err=%v", cached, err)
+	}
+}

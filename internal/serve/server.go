@@ -1,0 +1,589 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ios/internal/baseline"
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/models"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+// DefaultCacheSize is the schedule-cache capacity a zero Config gets: big
+// enough for every zoo model at several batch sizes on several devices.
+const DefaultCacheSize = 256
+
+// maxBodyBytes bounds request bodies (graph JSONs are well under this).
+const maxBodyBytes = 16 << 20
+
+// Config configures a Server. The zero value serves the V100 with paper
+// defaults and a DefaultCacheSize cache.
+type Config struct {
+	// Device is the default device for requests that do not name one.
+	// Zero value: the Tesla V100 (the paper's primary GPU).
+	Device gpusim.Spec
+	// Options is the default search configuration (zero value: IOS-Both,
+	// r=3, s=8).
+	Options core.Options
+	// Cache holds optimized schedules; nil allocates a fresh
+	// NewScheduleCache(DefaultCacheSize). Sharing one cache between
+	// servers shares their schedules.
+	Cache *ScheduleCache
+	// Logf, when set, receives one line per served request.
+	Logf func(format string, args ...any)
+}
+
+// Server serves IOS schedules over HTTP. Endpoints:
+//
+//	POST /optimize  optimize a zoo model or submitted graph (cached)
+//	POST /measure   measure a schedule or baseline on a device
+//	GET  /models    list the model zoo
+//	GET  /stats     cache and traffic counters
+//
+// Every response is JSON; errors use {"error": "..."} with a 4xx/5xx
+// status. Server implements http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *ScheduleCache
+	mux   *http.ServeMux
+	start time.Time
+
+	optimizeReqs int64
+	measureReqs  int64
+	modelsReqs   int64
+	statsReqs    int64
+
+	zooOnce sync.Once
+	zooInfo []ModelInfo
+}
+
+// NewServer returns a ready-to-mount server.
+func NewServer(cfg Config) *Server {
+	if cfg.Device.Name == "" {
+		cfg.Device = gpusim.TeslaV100
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewScheduleCache(DefaultCacheSize)
+	}
+	s := &Server{cfg: cfg, cache: cache, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/measure", s.handleMeasure)
+	s.mux.HandleFunc("/models", s.handleModels)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Cache returns the server's schedule cache.
+func (s *Server) Cache() *ScheduleCache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// OptimizeRequest is the body of POST /optimize. Exactly one of Model and
+// Graph must be set: Model names a zoo network (see GET /models for the
+// accepted names) built at Batch, while Graph carries a full computation
+// graph in the internal/graph JSON schema (whose input shapes fix the
+// batch). Device, Strategy, R and S override the server defaults; R or S
+// of -1 means unbounded (exhaustive in that dimension).
+type OptimizeRequest struct {
+	Model    string          `json:"model,omitempty"`
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Batch    int             `json:"batch,omitempty"`
+	Device   string          `json:"device,omitempty"`
+	Strategy string          `json:"strategy,omitempty"`
+	R        int             `json:"r,omitempty"`
+	S        int             `json:"s,omitempty"`
+}
+
+// SearchInfo reports the search cost of the optimization that produced a
+// response (zeroed identically for every requester that was served from
+// cache — the search ran once).
+type SearchInfo struct {
+	Blocks       int     `json:"blocks"`
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	Measurements int     `json:"measurements"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// OptimizeResponse is the body of a successful POST /optimize.
+type OptimizeResponse struct {
+	Model        string           `json:"model"`
+	Device       string           `json:"device"`
+	Batch        int              `json:"batch"`
+	Options      string           `json:"options"`
+	Cached       bool             `json:"cached"`
+	LatencyMS    float64          `json:"latency_ms"`
+	SequentialMS float64          `json:"sequential_ms"`
+	Speedup      float64          `json:"speedup"`
+	Throughput   float64          `json:"throughput"`
+	Summary      schedule.Summary `json:"summary"`
+	Schedule     json.RawMessage  `json:"schedule"`
+	Search       SearchInfo       `json:"search"`
+}
+
+// MeasureRequest is the body of POST /measure. The graph is named or
+// submitted exactly as in OptimizeRequest. Schedule, when set, is a
+// schedule JSON (as emitted by /optimize or cmd/iosopt) to measure
+// against the graph; otherwise Baseline selects what to measure: "ios"
+// (default — optimize through the cache), "sequential", or "greedy".
+type MeasureRequest struct {
+	Model    string          `json:"model,omitempty"`
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Batch    int             `json:"batch,omitempty"`
+	Device   string          `json:"device,omitempty"`
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+	Baseline string          `json:"baseline,omitempty"`
+}
+
+// MeasureResponse is the body of a successful POST /measure.
+type MeasureResponse struct {
+	Model      string           `json:"model"`
+	Device     string           `json:"device"`
+	Batch      int              `json:"batch"`
+	Source     string           `json:"source"` // "schedule", "ios", "sequential", "greedy"
+	Cached     bool             `json:"cached"`
+	LatencyMS  float64          `json:"latency_ms"`
+	Throughput float64          `json:"throughput"`
+	Summary    schedule.Summary `json:"summary"`
+}
+
+// ModelInfo is one GET /models row.
+type ModelInfo struct {
+	Name    string   `json:"name"`
+	Display string   `json:"display"`
+	Aliases []string `json:"aliases,omitempty"`
+	Ops     int      `json:"ops"`
+	Width   int      `json:"width"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Device   string           `json:"device"`
+	Options  string           `json:"options"`
+	UptimeS  float64          `json:"uptime_s"`
+	Requests map[string]int64 `json:"requests"`
+	Cache    CacheStats       `json:"cache"`
+}
+
+// request resolution ---------------------------------------------------
+
+// resolved carries everything the handlers need about one request target.
+type resolved struct {
+	key   Key
+	spec  gpusim.Spec
+	opts  core.Options
+	batch int
+	// build constructs the graph (deferred so cache hits skip it; for
+	// submitted graphs it returns the already-parsed value).
+	build func() (*graph.Graph, error)
+}
+
+// resolve validates the model/graph/device/options fields shared by
+// /optimize and /measure and produces the cache key.
+func (s *Server) resolve(model string, rawGraph json.RawMessage, batch int, device, strategy string, r, sBound int) (*resolved, error) {
+	if (model == "") == (len(rawGraph) == 0) {
+		return nil, fmt.Errorf("pass exactly one of \"model\" and \"graph\"")
+	}
+	spec := s.cfg.Device
+	if device != "" {
+		var ok bool
+		if spec, ok = gpusim.SpecByName(device); !ok {
+			return nil, fmt.Errorf("unknown device %q", device)
+		}
+	}
+	// Canonicalize the defaults first so a request overriding only R
+	// keeps the default S (rather than silently unbounding it).
+	opts := s.cfg.Options.Canonical()
+	if strategy != "" {
+		set, err := core.ParseStrategySet(strategy)
+		if err != nil {
+			return nil, err
+		}
+		opts.Strategies = set
+	}
+	if r != 0 {
+		opts.Pruning.R = r
+	}
+	if sBound != 0 {
+		opts.Pruning.S = sBound
+	}
+	opts = opts.Canonical()
+
+	res := &resolved{spec: spec, opts: opts}
+	if model != "" {
+		entry, ok := models.EntryByName(model)
+		if !ok {
+			return nil, fmt.Errorf("unknown model %q (GET /models lists the zoo)", model)
+		}
+		if batch == 0 {
+			batch = 1
+		}
+		if batch < 1 {
+			return nil, fmt.Errorf("batch must be >= 1, got %d", batch)
+		}
+		res.batch = batch
+		res.key = Key{Model: entry.Name, Batch: batch, Device: spec.Name, Opts: opts.Fingerprint()}
+		res.build = func() (*graph.Graph, error) { return entry.Build(batch), nil }
+		return res, nil
+	}
+
+	g, err := graph.FromJSON(rawGraph)
+	if err != nil {
+		return nil, err
+	}
+	// Surface block-partition errors here, where they map to a 400: past
+	// this point optimizer failures are reported as server errors.
+	if _, err := g.Partition(opts.MaxBlockOps); err != nil {
+		return nil, err
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	res.batch = graphBatch(g)
+	if batch != 0 && batch != res.batch {
+		return nil, fmt.Errorf("batch %d conflicts with the submitted graph's input batch %d (the graph's shapes win; omit \"batch\")", batch, res.batch)
+	}
+	res.key = Key{Model: "graph:" + fp, Batch: res.batch, Device: spec.Name, Opts: opts.Fingerprint()}
+	res.build = func() (*graph.Graph, error) { return g, nil }
+	return res, nil
+}
+
+// graphBatch returns the batch size of the graph's first input node.
+func graphBatch(g *graph.Graph) int {
+	for _, n := range g.Nodes {
+		if n.Op.Kind == graph.OpInput {
+			return n.Output.N
+		}
+	}
+	return 1
+}
+
+// entry runs the cached optimization for a resolved request.
+func (s *Server) entry(res *resolved) (*Entry, bool, error) {
+	return s.cache.GetOrCompute(res.key, func() (*Entry, error) {
+		g, err := res.build()
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.New(res.spec)
+		out, err := core.Optimize(g, prof, res.opts)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := prof.MeasureSchedule(out.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := baseline.Sequential(g)
+		if err != nil {
+			return nil, err
+		}
+		seqLat, err := prof.MeasureSchedule(seq)
+		if err != nil {
+			return nil, err
+		}
+		schedJSON, err := out.Schedule.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		return &Entry{
+			Graph:             g,
+			Schedule:          out.Schedule,
+			Stats:             out.Stats,
+			Latency:           lat,
+			SequentialLatency: seqLat,
+			ScheduleJSON:      schedJSON,
+			Summary:           out.Schedule.Summarize(),
+			ComputedAt:        time.Now(),
+		}, nil
+	})
+}
+
+// Warm precomputes schedules for the named zoo models (nil = the paper's
+// four benchmarks) at the given batch sizes (nil = batch 1) on the
+// server's default device, so the first user request hits a warm cache.
+func (s *Server) Warm(names []string, batches []int) error {
+	if names == nil {
+		names = []string{"inception", "randwire", "nasnet", "squeezenet"}
+	}
+	if len(batches) == 0 {
+		batches = []int{1}
+	}
+	for _, name := range names {
+		for _, b := range batches {
+			res, err := s.resolve(name, nil, b, "", "", 0, 0)
+			if err != nil {
+				return fmt.Errorf("serve: warm %s: %w", name, err)
+			}
+			if _, _, err := s.entry(res); err != nil {
+				return fmt.Errorf("serve: warm %s/b%d: %w", name, b, err)
+			}
+			s.logf("warm %s", res.key)
+		}
+	}
+	return nil
+}
+
+// handlers --------------------------------------------------------------
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.optimizeReqs, 1)
+	var req OptimizeRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	res, err := s.resolve(req.Model, req.Graph, req.Batch, req.Device, req.Strategy, req.R, req.S)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	e, cached, err := s.entry(res)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Entries computed by this server carry the serialized schedule and
+	// summary; fall back for externally constructed cache entries.
+	schedJSON, summary := e.ScheduleJSON, e.Summary
+	if schedJSON == nil {
+		schedJSON, err = e.Schedule.MarshalJSON()
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		summary = e.Schedule.Summarize()
+	}
+	resp := OptimizeResponse{
+		Model:        res.key.Model,
+		Device:       res.spec.Name,
+		Batch:        res.batch,
+		Options:      res.key.Opts,
+		Cached:       cached,
+		LatencyMS:    1e3 * e.Latency,
+		SequentialMS: 1e3 * e.SequentialLatency,
+		Speedup:      ratio(e.SequentialLatency, e.Latency),
+		Throughput:   ratio(float64(res.batch), e.Latency),
+		Summary:      summary,
+		Schedule:     schedJSON,
+		Search: SearchInfo{
+			Blocks:       e.Stats.Blocks,
+			States:       e.Stats.States,
+			Transitions:  e.Stats.Transitions,
+			Measurements: e.Stats.Measurements,
+			WallMS:       float64(e.Stats.WallTime) / float64(time.Millisecond),
+		},
+	}
+	s.logf("optimize %s cached=%v %.3fms", res.key, cached, resp.LatencyMS)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.measureReqs, 1)
+	var req MeasureRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	res, err := s.resolve(req.Model, req.Graph, req.Batch, req.Device, "", 0, 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var (
+		sched  *schedule.Schedule
+		source string
+	)
+	switch {
+	case len(req.Schedule) > 0:
+		if req.Baseline != "" {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("pass at most one of \"schedule\" and \"baseline\""))
+			return
+		}
+		g, err := res.build()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		sched, err = schedule.FromJSON(req.Schedule, g)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sched.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		source = "schedule"
+	case req.Baseline == "" || req.Baseline == "ios":
+		e, hit, err := s.entry(res)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		// The entry already carries this schedule's measured latency;
+		// answer from it instead of re-simulating the whole network.
+		summary := e.Summary
+		if e.ScheduleJSON == nil {
+			summary = e.Schedule.Summarize()
+		}
+		resp := MeasureResponse{
+			Model:      res.key.Model,
+			Device:     res.spec.Name,
+			Batch:      res.batch,
+			Source:     "ios",
+			Cached:     hit,
+			LatencyMS:  1e3 * e.Latency,
+			Throughput: ratio(float64(res.batch), e.Latency),
+			Summary:    summary,
+		}
+		s.logf("measure %s source=ios %.3fms", res.key, resp.LatencyMS)
+		s.writeJSON(w, resp)
+		return
+	case req.Baseline == "sequential" || req.Baseline == "greedy":
+		g, err := res.build()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Baseline == "sequential" {
+			sched, err = baseline.Sequential(g)
+		} else {
+			sched, err = baseline.Greedy(g)
+		}
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		source = req.Baseline
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown baseline %q (want ios, sequential, or greedy)", req.Baseline))
+		return
+	}
+
+	lat, err := profile.New(res.spec).MeasureSchedule(sched)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := MeasureResponse{
+		Model:      res.key.Model,
+		Device:     res.spec.Name,
+		Batch:      res.batch,
+		Source:     source,
+		LatencyMS:  1e3 * lat,
+		Throughput: ratio(float64(res.batch), lat),
+		Summary:    sched.Summarize(),
+	}
+	s.logf("measure %s source=%s %.3fms", res.key, source, resp.LatencyMS)
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.modelsReqs, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.zooOnce.Do(func() {
+		for _, e := range models.Zoo() {
+			g := e.Build(1)
+			s.zooInfo = append(s.zooInfo, ModelInfo{
+				Name:    e.Name,
+				Display: e.Display,
+				Aliases: e.Aliases,
+				Ops:     len(g.SchedulableNodes()),
+				Width:   g.Width(),
+			})
+		}
+	})
+	s.writeJSON(w, s.zooInfo)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.statsReqs, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.writeJSON(w, StatsResponse{
+		Device:  s.cfg.Device.Name,
+		Options: s.cfg.Options.Fingerprint(),
+		UptimeS: time.Since(s.start).Seconds(),
+		Requests: map[string]int64{
+			"optimize": atomic.LoadInt64(&s.optimizeReqs),
+			"measure":  atomic.LoadInt64(&s.measureReqs),
+			"models":   atomic.LoadInt64(&s.modelsReqs),
+			"stats":    atomic.LoadInt64(&s.statsReqs),
+		},
+		Cache: s.cache.Stats(),
+	})
+}
+
+// plumbing --------------------------------------------------------------
+
+// ratio divides, reporting 0 for a zero denominator: degenerate graphs
+// (e.g. input-only) measure a latency of 0, and NaN/Inf are not
+// JSON-encodable.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parse body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("write response: %v", err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.logf("error %d: %v", code, err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

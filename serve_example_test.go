@@ -1,0 +1,75 @@
+package ios_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"ios"
+)
+
+// ExampleServer mounts the schedule-serving HTTP API in-process and asks
+// it to optimize the paper's Figure-2 block: the first request runs the
+// IOS search, the second is answered from the schedule cache.
+func ExampleServer() {
+	srv := httptest.NewServer(ios.NewServer(ios.ServerConfig{}))
+	defer srv.Close()
+
+	ask := func() ios.OptimizeResponse {
+		resp, err := http.Post(srv.URL+"/optimize", "application/json",
+			strings.NewReader(`{"model": "fig2"}`))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out ios.OptimizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	first, second := ask(), ask()
+	fmt.Printf("model %s on %s: %d stages, faster than sequential: %v\n",
+		first.Model, first.Device, first.Summary.Stages, first.Speedup > 1)
+	fmt.Printf("first cached: %v, second cached: %v\n", first.Cached, second.Cached)
+	// Output:
+	// model fig2 on Tesla V100: 3 stages, faster than sequential: true
+	// first cached: false, second cached: true
+}
+
+// ExampleScheduleCache shows the cache's request coalescing contract:
+// repeated requests for one (model, batch, device, options) key run the
+// optimizer exactly once, however they are interleaved.
+func ExampleScheduleCache() {
+	cache := ios.NewScheduleCache(16)
+	key := ios.CacheKey{Model: "fig2", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
+
+	runs := 0
+	optimize := func() (*ios.CacheEntry, error) {
+		runs++
+		g := ios.Figure2Block(1)
+		res, err := ios.Optimize(g, ios.V100, ios.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &ios.CacheEntry{Graph: g, Schedule: res.Schedule, Stats: res.Stats}, nil
+	}
+
+	for i := 0; i < 3; i++ {
+		entry, cached, err := cache.GetOrCompute(key, optimize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %d: cached=%v stages=%d\n", i+1, cached, entry.Schedule.NumStages())
+	}
+	fmt.Printf("optimizer ran %d time(s) for 3 requests\n", runs)
+	// Output:
+	// request 1: cached=false stages=3
+	// request 2: cached=true stages=3
+	// request 3: cached=true stages=3
+	// optimizer ran 1 time(s) for 3 requests
+}
