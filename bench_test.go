@@ -17,12 +17,15 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
 	"ios"
+	"ios/internal/core"
 	"ios/internal/expt"
 	"ios/internal/gpusim"
+	"ios/internal/profile"
 )
 
 // runExperiment benchmarks one experiment id under a config.
@@ -321,3 +324,51 @@ func BenchmarkServeConcurrentCold(b *testing.B) {
 		}
 	}
 }
+
+// Search-cost benchmarks (the Figure 9 axis applied to the engine
+// itself): one block's full DP search, the unit cmd/iosserve pays per
+// schedule-cache miss. Each network benchmarks its hardest block (largest
+// theoretical transition bound) at one worker and at GOMAXPROCS workers;
+// the resulting schedule is identical at every setting, so these measure
+// pure engine speed. Baselines are recorded in BENCH_search.json (emitted
+// by `iosbench -search-json`) and PERF.md.
+
+// benchSearchCostBlock times core.OptimizeBlock on g's hardest block.
+func benchSearchCostBlock(b *testing.B, g *ios.Graph, workers int) {
+	b.Helper()
+	blk, err := core.HardestBlock(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof := profile.New(gpusim.TeslaV100)
+		if _, _, err := core.OptimizeBlock(blk, prof, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runSearchCost runs the workers=1 / workers=GOMAXPROCS sub-benchmarks.
+func runSearchCost(b *testing.B, g *ios.Graph) {
+	b.Run("workers=1", func(b *testing.B) { benchSearchCostBlock(b, g, 1) })
+	b.Run("workers=max", func(b *testing.B) { benchSearchCostBlock(b, g, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkFig9SearchCostInceptionBlock times the hardest Inception V3
+// block (Table 1: n=11, d=6).
+func BenchmarkFig9SearchCostInceptionBlock(b *testing.B) { runSearchCost(b, ios.InceptionV3(1)) }
+
+// BenchmarkFig9SearchCostSqueezeNetBlock times the hardest SqueezeNet
+// block (Table 1: n=6, d=3).
+func BenchmarkFig9SearchCostSqueezeNetBlock(b *testing.B) { runSearchCost(b, ios.SqueezeNet(1)) }
+
+// BenchmarkFig9SearchCostNasNetBlock times the hardest NasNet-A block
+// (Table 1: n=18, d=8 — a search-heavy block).
+func BenchmarkFig9SearchCostNasNetBlock(b *testing.B) { runSearchCost(b, ios.NasNetA(1)) }
+
+// BenchmarkFig9SearchCostRandWireBlock times the hardest RandWire block
+// (Table 1: n=33, d=8 — the heaviest search in the zoo).
+func BenchmarkFig9SearchCostRandWireBlock(b *testing.B) { runSearchCost(b, ios.RandWire(1)) }

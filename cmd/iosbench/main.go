@@ -11,15 +11,48 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"ios/internal/expt"
 	"ios/internal/gpusim"
 )
+
+// searchBaseline is the BENCH_search.json schema: enough environment to
+// interpret the rows plus the rows themselves.
+type searchBaseline struct {
+	Device     string           `json:"device"`
+	Batch      int              `json:"batch"`
+	Quick      bool             `json:"quick"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Rows       []expt.SearchRow `json:"rows"`
+}
+
+// writeSearchJSON measures the DP engine's search cost and writes the
+// baseline file future PRs diff against.
+func writeSearchJSON(cfg expt.Config, path string) error {
+	rows, err := expt.SearchCostRows(cfg)
+	if err != nil {
+		return err
+	}
+	out := searchBaseline{
+		Device:     cfg.Device.Name,
+		Batch:      cfg.Batch,
+		Quick:      cfg.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -30,6 +63,7 @@ func main() {
 		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
 		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
 		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
+		searchJSON = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -52,6 +86,15 @@ func main() {
 	cfg := expt.Config{Device: spec, Batch: *batchFlag, Quick: *quickFlag}
 	cfg.Opts.Pruning.R = *rFlag
 	cfg.Opts.Pruning.S = *sFlag
+
+	if *searchJSON != "" {
+		if err := writeSearchJSON(cfg, *searchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -search-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote search-cost baseline to %s\n", *searchJSON)
+		return
+	}
 
 	ids := expt.Names()
 	if *expFlag != "" {

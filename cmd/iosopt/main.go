@@ -32,6 +32,7 @@ func main() {
 		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
 		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "strategy set: both, parallel, merge")
+		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block (0 = GOMAXPROCS); results are identical at every setting")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -48,7 +49,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown device %q", *deviceFlag))
 	}
-	opts := core.Options{Pruning: core.Pruning{R: *rFlag, S: *sFlag}}
+	opts := core.Options{Pruning: core.Pruning{R: *rFlag, S: *sFlag}, Workers: *workers}
 	strat, err := core.ParseStrategySet(*strategy)
 	if err != nil {
 		fatal(err)

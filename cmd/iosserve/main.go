@@ -45,6 +45,7 @@ func main() {
 		rFlag      = flag.Int("r", 3, "default pruning: max operators per group")
 		sFlag      = flag.Int("s", 8, "default pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "default strategy set: both, parallel, merge")
+		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block on cache misses (0 = GOMAXPROCS); schedules are identical at every setting")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Usage = func() {
@@ -64,7 +65,7 @@ func main() {
 	}
 	cfg := serve.Config{
 		Device:  spec,
-		Options: core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}},
+		Options: core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}, Workers: *workers},
 		Cache:   serve.NewScheduleCache(*cacheFlag),
 	}
 	if !*quietFlag {

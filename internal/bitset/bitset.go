@@ -103,6 +103,37 @@ func (s Set) Elems() []int {
 	return out
 }
 
+// AppendElems appends the elements of s in increasing order to dst and
+// returns the extended slice. It is the allocation-free (given a reused
+// backing array) alternative to Elems for hot loops such as the DP's
+// ending enumeration.
+func (s Set) AppendElems(dst []int) []int {
+	for t := s; t != 0; {
+		e := bits.TrailingZeros64(uint64(t))
+		dst = append(dst, e)
+		t &^= 1 << uint(e)
+	}
+	return dst
+}
+
+// NextAfter returns the smallest element of s strictly greater than e, or
+// -1 when no such element exists. Pass e = -1 to start an iteration:
+//
+//	for i := s.NextAfter(-1); i >= 0; i = s.NextAfter(i) { ... }
+//
+// Unlike ForEach it needs no closure, which keeps tight loops free of
+// function-value allocations.
+func (s Set) NextAfter(e int) int {
+	if e < -1 || e >= MaxElems {
+		panic(fmt.Sprintf("bitset: NextAfter(%d) out of range [-1,%d)", e, MaxElems))
+	}
+	t := uint64(s) &^ (1<<uint(e+1) - 1)
+	if t == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(t)
+}
+
 // ForEach calls fn for each element in increasing order. It stops early if
 // fn returns false.
 func (s Set) ForEach(fn func(e int) bool) {

@@ -191,3 +191,50 @@ func TestQuickElemsRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: AppendElems agrees with Elems and reuses the destination.
+func TestQuickAppendElems(t *testing.T) {
+	err := quick.Check(func(x uint64) bool {
+		s := Set(x)
+		buf := make([]int, 0, 64)
+		got := s.AppendElems(buf)
+		want := s.Elems()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Reuse must not allocate a new backing array.
+		return cap(got) == 64 && s.AppendElems(buf[:0]) != nil
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NextAfter iteration visits exactly Elems in order.
+func TestQuickNextAfter(t *testing.T) {
+	err := quick.Check(func(x uint64) bool {
+		s := Set(x)
+		var got []int
+		for e := s.NextAfter(-1); e >= 0; e = s.NextAfter(e) {
+			got = append(got, e)
+		}
+		want := s.Elems()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return s.NextAfter(63) == -1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

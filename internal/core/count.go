@@ -50,7 +50,7 @@ func AnalyzeBlock(b *graph.Block) Complexity {
 			return v
 		}
 		var total float64
-		forEachEnding(b, s, NoPruning, func(ending bitset.Set) bool {
+		forEachEnding(b, s, NoPruning, func(ending bitset.Set, _ []bitset.Set) bool {
 			c.Transitions++
 			total += countSchedules(s.Diff(ending))
 			return true
@@ -78,7 +78,7 @@ func CountPruned(b *graph.Block, prune Pruning) (states int, transitions int64) 
 		}
 		seen[s] = true
 		states++
-		forEachEnding(b, s, prune, func(ending bitset.Set) bool {
+		forEachEnding(b, s, prune, func(ending bitset.Set, _ []bitset.Set) bool {
 			transitions++
 			visit(s.Diff(ending))
 			return true
@@ -99,13 +99,14 @@ func transitionBound(n, d int) float64 {
 	return math.Pow(perChain, float64(d))
 }
 
-// AnalyzeLargestBlock partitions the graph and returns the Complexity of
-// its hardest block — the one with the largest theoretical transition
-// bound (ties broken by operator count) — as Table 1 lists per network.
-func AnalyzeLargestBlock(g *graph.Graph) (Complexity, error) {
+// HardestBlock partitions the graph and returns its hardest block — the
+// one with the largest theoretical transition bound (ties broken by
+// operator count) — or nil for an empty graph. This is the block Table 1
+// analyzes and the search-cost benchmarks time.
+func HardestBlock(g *graph.Graph) (*graph.Block, error) {
 	blocks, err := g.Partition(0)
 	if err != nil {
-		return Complexity{}, err
+		return nil, err
 	}
 	var best *graph.Block
 	bestBound := -1.0
@@ -114,6 +115,16 @@ func AnalyzeLargestBlock(g *graph.Graph) (Complexity, error) {
 		if bound > bestBound || (bound == bestBound && best != nil && len(b.Nodes) > len(best.Nodes)) {
 			best, bestBound = b, bound
 		}
+	}
+	return best, nil
+}
+
+// AnalyzeLargestBlock returns the Complexity of the graph's hardest block
+// as Table 1 lists per network.
+func AnalyzeLargestBlock(g *graph.Graph) (Complexity, error) {
+	best, err := HardestBlock(g)
+	if err != nil {
+		return Complexity{}, err
 	}
 	if best == nil {
 		return Complexity{}, nil

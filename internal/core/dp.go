@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -47,16 +46,22 @@ func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	// Lowering and solo durations are pure per node; compute them once on
+	// the root so every per-block fork (and its workers) shares the tables
+	// instead of re-lowering its slice of the graph. The solo simulations
+	// are counted here instead of lazily inside each block's serial-tail
+	// evaluation; the totals are identical.
+	prof.Prelower(g.SchedulableNodes())
 	sched := &schedule.Schedule{Graph: g}
 	stats := Stats{Blocks: len(blocks)}
 
 	// Blocks are independent subproblems; search them in parallel on
-	// forked profilers (same device model, separate caches). Results are
-	// deterministic regardless of interleaving.
+	// forked profilers (same device model, shared immutable lowering,
+	// separate stage caches). Results are deterministic regardless of
+	// interleaving.
 	type blockOut struct {
 		stages []schedule.Stage
 		stats  Stats
-		meas   int
 		err    error
 	}
 	outs := make([]blockOut, len(blocks))
@@ -70,7 +75,7 @@ func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, er
 			defer func() { <-sem }()
 			bp := prof.Fork()
 			stages, bstats, err := OptimizeBlock(b, bp, opts)
-			outs[i] = blockOut{stages: stages, stats: bstats, meas: bp.Measurements, err: err}
+			outs[i] = blockOut{stages: stages, stats: bstats, err: err}
 		}(i, b)
 	}
 	wg.Wait()
@@ -81,7 +86,7 @@ func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, er
 		sched.Stages = append(sched.Stages, out.stages...)
 		stats.States += out.stats.States
 		stats.Transitions += out.stats.Transitions
-		stats.Measurements += out.meas
+		stats.Measurements += out.stats.Measurements
 	}
 	stats.Measurements += prof.Measurements - m0
 	stats.WallTime = time.Since(start)
@@ -97,208 +102,32 @@ type choice struct {
 	ending   bitset.Set
 	strategy schedule.Strategy
 	// serial marks the serial-tail candidate: the whole ending executes
-	// as one group on a single stream (see scheduler).
+	// as one group on a single stream (see the engine's serial-tail
+	// candidate).
 	serial bool
-}
-
-// stageResult memoizes GENERATESTAGE per ending within a block, keyed by
-// the ending bitmask — far cheaper than the profiler's name-keyed cache on
-// the DP's hot path (the same ending is examined from many states).
-type stageResult struct {
-	lat      float64
-	strategy schedule.Strategy
-	ok       bool
-}
-
-// blockScheduler carries the DP state for one block.
-type blockScheduler struct {
-	b      *graph.Block
-	prof   *profile.Profiler
-	opts   Options
-	cost   map[bitset.Set]float64
-	last   map[bitset.Set]choice
-	stages map[bitset.Set]stageResult
-	stats  Stats
 }
 
 // OptimizeBlock runs the dynamic program on a single block and returns its
 // stage list. Exposed for experiments that study one block (Table 1,
 // Figure 9, Figure 10).
+//
+// The search is the level-synchronous bottom-up engine of engine.go,
+// parallel across opts.Workers goroutines; its costs, schedules, and
+// search statistics are identical to the original memoized recursion
+// (retained in dp_reference.go as the oracle the property tests compare
+// against) for any worker count.
 func OptimizeBlock(b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
 	opts = opts.withDefaults()
-	bs := &blockScheduler{
-		b: b, prof: prof, opts: opts,
-		cost:   make(map[bitset.Set]float64),
-		last:   make(map[bitset.Set]choice),
-		stages: make(map[bitset.Set]stageResult),
+	if b.All().IsEmpty() {
+		return nil, Stats{}, nil
 	}
-	all := b.All()
-	if all.IsEmpty() {
-		return nil, bs.stats, nil
+	m0 := prof.Measurements
+	e := newEngine(b, prof, opts)
+	stages, stats, err := e.run()
+	e.close()
+	stats.Measurements = prof.Measurements - m0
+	if err != nil {
+		return nil, stats, err
 	}
-	if _, err := bs.scheduler(all); err != nil {
-		return nil, bs.stats, err
-	}
-	// Schedule construction (Algorithm 1 L6-11): walk choice[] backwards
-	// from the full set, prepending stages.
-	var rev []schedule.Stage
-	for s := all; !s.IsEmpty(); {
-		c, ok := bs.last[s]
-		if !ok {
-			return nil, bs.stats, fmt.Errorf("no feasible schedule for state %v (over-restrictive strategy set?)", s)
-		}
-		rev = append(rev, bs.buildStage(c))
-		s = s.Diff(c.ending)
-	}
-	stages := make([]schedule.Stage, 0, len(rev))
-	for i := len(rev) - 1; i >= 0; i-- {
-		stages = append(stages, rev[i])
-	}
-	return stages, bs.stats, nil
-}
-
-// scheduler is Algorithm 1's SCHEDULER: the memoized recursion
-// cost[S] = min over endings S' of cost[S−S'] + stage_latency[S'].
-func (bs *blockScheduler) scheduler(s bitset.Set) (float64, error) {
-	if s.IsEmpty() {
-		return 0, nil
-	}
-	if v, ok := bs.cost[s]; ok {
-		return v, nil
-	}
-	bs.stats.States++
-	best := math.Inf(1)
-	var bestChoice choice
-	var firstErr error
-
-	// Serial-tail candidate: close the whole remaining suffix as one
-	// stage whose single group runs every operator back-to-back on one
-	// stream. The pruning strategy caps the size of *parallel* groups
-	// (Section 4.3); a pure serial chain involves no inter-operator
-	// parallelism, so admitting it at any length only restores schedules
-	// the unpruned space already contains (in particular, the stream-
-	// sequential schedule, which IOS must never lose to).
-	bs.stats.Transitions++
-	if lat := bs.prof.MeasureSerialChain(bs.nodesOf(s)); lat < best {
-		best = lat
-		bestChoice = choice{ending: s, strategy: schedule.Concurrent, serial: true}
-	}
-
-	forEachEnding(bs.b, s, bs.opts.Pruning, func(ending bitset.Set) bool {
-		bs.stats.Transitions++
-		lat, strat, ok, err := bs.generateStage(ending)
-		if err != nil {
-			firstErr = err
-			return false
-		}
-		if !ok {
-			return true // infeasible under the strategy restriction
-		}
-		sub, err := bs.scheduler(s.Diff(ending))
-		if err != nil {
-			firstErr = err
-			return false
-		}
-		if total := sub + lat; total < best {
-			best = total
-			bestChoice = choice{ending: ending, strategy: strat}
-		}
-		return true
-	})
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	if !math.IsInf(best, 1) {
-		bs.cost[s] = best
-		bs.last[s] = bestChoice
-	}
-	return best, nil
-}
-
-// generateStage is Algorithm 1's GENERATESTAGE: choose the better
-// parallelization strategy for the candidate stage and return its
-// measured latency. ok=false means the stage is infeasible under the
-// configured StrategySet (e.g. MergeOnly with unmergeable multi-op sets).
-func (bs *blockScheduler) generateStage(ending bitset.Set) (lat float64, strat schedule.Strategy, ok bool, err error) {
-	if r, hit := bs.stages[ending]; hit {
-		return r.lat, r.strategy, r.ok, nil
-	}
-	defer func() {
-		if err == nil {
-			bs.stages[ending] = stageResult{lat: lat, strategy: strat, ok: ok}
-		}
-	}()
-	nodes := bs.nodesOf(ending)
-	groups := bs.groupNodes(ending)
-
-	// Under MergeOnly (the paper's IOS-Merge variant) stages may not use
-	// inter-operator parallelism: a concurrent stage is admissible only
-	// when it degenerates to a single sequential chain, which makes the
-	// variant coincide with the sequential schedule on networks without
-	// merge opportunities (Section 6.1's RandWire/NasNet observation).
-	concurrentAllowed := bs.opts.Strategies != MergeOnly || len(groups) == 1
-	mergeAllowed := bs.opts.Strategies != ParallelOnly && profile.CanMerge(nodes)
-
-	lConc, lMerge := math.Inf(1), math.Inf(1)
-	if concurrentAllowed {
-		st := schedule.Stage{Strategy: schedule.Concurrent, Groups: groups}
-		lConc, err = bs.prof.MeasureStageUncached(st)
-		if err != nil {
-			return 0, 0, false, err
-		}
-	}
-	if mergeAllowed {
-		st := schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{nodes}}
-		lMerge, err = bs.prof.MeasureStageUncached(st)
-		if err != nil {
-			return 0, 0, false, err
-		}
-	}
-	switch {
-	case math.IsInf(lConc, 1) && math.IsInf(lMerge, 1):
-		return 0, 0, false, nil
-	case lConc <= lMerge:
-		return lConc, schedule.Concurrent, true, nil
-	default:
-		return lMerge, schedule.Merge, true, nil
-	}
-}
-
-// buildStage materializes a schedule stage from a DP choice.
-func (bs *blockScheduler) buildStage(c choice) schedule.Stage {
-	switch {
-	case c.serial:
-		return bs.serialStage(c.ending)
-	case c.strategy == schedule.Merge:
-		return schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{bs.nodesOf(c.ending)}}
-	default:
-		return schedule.Stage{Strategy: schedule.Concurrent, Groups: bs.groupNodes(c.ending)}
-	}
-}
-
-// serialStage wraps an operator set as one single-group concurrent stage:
-// every operator issues back-to-back on one stream in topological order.
-func (bs *blockScheduler) serialStage(s bitset.Set) schedule.Stage {
-	return schedule.Stage{Strategy: schedule.Concurrent, Groups: [][]*graph.Node{bs.nodesOf(s)}}
-}
-
-// nodesOf converts a block-local bitset to nodes in topological order.
-func (bs *blockScheduler) nodesOf(s bitset.Set) []*graph.Node {
-	nodes := make([]*graph.Node, 0, s.Len())
-	s.ForEach(func(e int) bool {
-		nodes = append(nodes, bs.b.Nodes[e])
-		return true
-	})
-	return nodes
-}
-
-// groupNodes converts an ending to its connected-component groups of
-// nodes.
-func (bs *blockScheduler) groupNodes(ending bitset.Set) [][]*graph.Node {
-	sets := groupsOf(bs.b, ending)
-	groups := make([][]*graph.Node, len(sets))
-	for i, gs := range sets {
-		groups[i] = bs.nodesOf(gs)
-	}
-	return groups
+	return stages, stats, nil
 }

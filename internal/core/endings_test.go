@@ -72,7 +72,7 @@ func TestEndingsOfDiamond(t *testing.T) {
 	// irrelevant here).
 	b := buildBlock(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
 	var got []bitset.Set
-	forEachEnding(b, b.All(), NoPruning, func(e bitset.Set) bool {
+	forEachEnding(b, b.All(), NoPruning, func(e bitset.Set, _ []bitset.Set) bool {
 		got = append(got, e)
 		return true
 	})
@@ -117,7 +117,7 @@ func TestEndingsMatchBruteForce(t *testing.T) {
 			if trial%2 == 1 {
 				// Remove a random ending to get a smaller down-set.
 				var endings []bitset.Set
-				forEachEnding(b, s, NoPruning, func(e bitset.Set) bool {
+				forEachEnding(b, s, NoPruning, func(e bitset.Set, _ []bitset.Set) bool {
 					endings = append(endings, e)
 					return true
 				})
@@ -127,7 +127,7 @@ func TestEndingsMatchBruteForce(t *testing.T) {
 				}
 			}
 			got := map[bitset.Set]bool{}
-			forEachEnding(b, s, prune, func(e bitset.Set) bool {
+			forEachEnding(b, s, prune, func(e bitset.Set, _ []bitset.Set) bool {
 				if got[e] {
 					t.Fatalf("duplicate ending %v", e)
 				}
@@ -189,11 +189,51 @@ func TestGroupsOf(t *testing.T) {
 func TestEndingEarlyStop(t *testing.T) {
 	b := buildBlock(t, 4, [][2]int{{0, 1}})
 	count := 0
-	forEachEnding(b, b.All(), NoPruning, func(e bitset.Set) bool {
+	forEachEnding(b, b.All(), NoPruning, func(e bitset.Set, _ []bitset.Set) bool {
 		count++
 		return count < 3
 	})
 	if count != 3 {
 		t.Errorf("early stop visited %d endings", count)
+	}
+}
+
+// TestEnumeratorGroupsMatchBFS: the component structure the enumerator
+// tracks incrementally must equal groupsOf's BFS derivation (up to order)
+// for every emitted ending, so stage construction can trust it.
+func TestEnumeratorGroupsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		b := buildBlock(t, n, edges)
+		for _, prune := range []Pruning{NoPruning, {R: 2, S: 2}, {R: 3, S: 8}} {
+			forEachEnding(b, b.All(), prune, func(e bitset.Set, groups []bitset.Set) bool {
+				got := append([]bitset.Set(nil), groups...)
+				sortGroups(got)
+				want := groupsOf(b, e)
+				if len(got) != len(want) {
+					t.Fatalf("ending %v: %d groups, want %d", e, len(got), len(want))
+				}
+				var union bitset.Set
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("ending %v: group %d = %v, want %v", e, i, got[i], want[i])
+					}
+					union = union.Union(got[i])
+				}
+				if union != e {
+					t.Fatalf("ending %v: groups %v do not partition it", e, got)
+				}
+				return true
+			})
+		}
 	}
 }

@@ -1,0 +1,773 @@
+package core
+
+// The level-synchronous bottom-up DP engine. The original implementation
+// of Algorithm 1 (kept as the oracle in dp_reference.go) is a memoized
+// top-down recursion: single-threaded, copying the ending enumerator's
+// component list on every branch, and re-deriving each chosen ending's
+// group structure with a BFS both when measuring and when emitting the
+// stage. This engine computes the identical dynamic program as two
+// level-synchronous passes over the reachable state space:
+//
+//  1. Discovery (top-down, by decreasing cardinality): starting from the
+//     full block, enumerate each reachable state's admissible endings,
+//     store the list (the enumeration runs exactly once per state), and
+//     record the resulting remainder states. A state of cardinality k is
+//     only ever produced from states of cardinality > k, so processing
+//     one cardinality level at a time discovers every reachable state
+//     exactly once — the same state set the recursion memoizes, including
+//     under pruning (states reachable only through pruned transitions are
+//     never materialized). The enumerator's incrementally tracked
+//     component structure is captured into the stage memo the first time
+//     each distinct ending is seen, so no BFS ever re-derives groups.
+//
+//  2. Compute (bottom-up, by increasing cardinality): cost[S] depends
+//     only on cost[S − S'] for non-empty endings S', i.e. on strictly
+//     smaller levels, so all states of one level are independent and are
+//     processed in parallel across a pool of workers. Each worker owns a
+//     private simulator (via profile.Service) and walks its states'
+//     stored ending lists in a plain loop (no closures, no recursion);
+//     stage latencies are memoized in a sharded, per-ending singleflight
+//     table so every distinct ending is measured exactly once regardless
+//     of which workers race to it.
+//
+// Equivalence with the reference recursion is bit-exact (asserted by
+// property tests and the zoo equivalence test): per state, candidates are
+// evaluated in the same order (serial tail first, then endings in
+// enumeration order) with the same strictly-less comparison, stage
+// latencies are measured from identically ordered groups, and the
+// serial-tail sum accumulates per-node solo durations in the same order —
+// so costs, choices, schedules, and the States/Transitions/Measurements
+// statistics all coincide for any worker count.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ios/internal/bitset"
+	"ios/internal/graph"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+)
+
+// stageShardCount is the maximum shard count of the per-ending stage
+// memo; the engine uses enough shards to keep lock contention negligible
+// at its worker count (one suffices for a serial engine, and avoids
+// paying 64 table setups for every small block).
+const stageShardCount = 64
+
+// stageEntry memoizes GENERATESTAGE for one ending within a block. The
+// done/mu pair makes the entry a singleflight: the first worker to claim
+// it measures, concurrent claimants block on mu until the result is
+// published (done is set with release semantics after all fields are
+// written, so the lock-free fast path reads a complete entry). A manual
+// gate instead of sync.Once keeps the compute pass's per-transition fast
+// path free of closure allocations.
+type stageEntry struct {
+	done     atomic.Bool
+	mu       sync.Mutex
+	lat      float64
+	strategy schedule.Strategy
+	ok       bool
+	err      error
+	// groups is the ending's connected components, captured from the
+	// enumerator's incremental tracking when the ending was first seen
+	// and sorted by smallest element when the entry is measured, so no
+	// BFS ever re-derives the group structure — neither for measurement
+	// nor when the chosen stage is emitted.
+	groups []bitset.Set
+}
+
+// stageShard is one shard of the per-ending stage memo: a dedup table
+// from ending to entry position plus the entry storage itself. Entries
+// live in fixed-size chunks so growth never copies (entry addresses are
+// stable from creation) and abandons no backing arrays to the collector;
+// group sets are carved from a geometrically growing side arena for the
+// same reason.
+type stageShard struct {
+	mu          sync.Mutex
+	m           *setTable
+	chunks      [][]stageEntry
+	groupsArena []bitset.Set
+}
+
+// carveGroups copies a component list into the shard's arena, returning a
+// stable exact-size slice. Caller holds sh.mu (or the engine is serial).
+func (sh *stageShard) carveGroups(comps []bitset.Set) []bitset.Set {
+	n := len(comps)
+	if n == 0 {
+		return nil
+	}
+	if cap(sh.groupsArena)-len(sh.groupsArena) < n {
+		c := 2 * cap(sh.groupsArena)
+		if c < 128 {
+			c = 128
+		}
+		if c > 1<<14 {
+			c = 1 << 14
+		}
+		if c < n {
+			c = n
+		}
+		sh.groupsArena = make([]bitset.Set, 0, c)
+	}
+	start := len(sh.groupsArena)
+	sh.groupsArena = sh.groupsArena[: start+n : cap(sh.groupsArena)]
+	copy(sh.groupsArena[start:], comps)
+	return sh.groupsArena[start : start+n : start+n]
+}
+
+// entChunkBits sizes an entry chunk (256 entries — small enough that a
+// tiny block pays almost nothing, large enough that a RandWire-scale memo
+// needs only hundreds of chunks); a packed position is
+// chunk<<entChunkBits | index.
+const entChunkBits = 8
+
+// alloc appends one zero entry, returning its packed position and stable
+// address. Caller holds sh.mu (or the engine is serial).
+func (sh *stageShard) alloc() (int32, *stageEntry) {
+	if n := len(sh.chunks); n == 0 || len(sh.chunks[n-1]) == cap(sh.chunks[n-1]) {
+		sh.chunks = append(sh.chunks, make([]stageEntry, 0, 1<<entChunkBits))
+	}
+	ci := len(sh.chunks) - 1
+	c := sh.chunks[ci]
+	c = append(c, stageEntry{})
+	sh.chunks[ci] = c
+	return int32(ci)<<entChunkBits | int32(len(c)-1), &c[len(c)-1]
+}
+
+// transition is one stored (S, S') pair: the ending and the packed
+// shard/position handle of its stage-memo entry, resolved at discovery.
+// Keeping the record pointer-free matters: the transition arrays are the
+// engine's largest allocation (one record per #(S, S')), and without
+// pointers the garbage collector never scans them.
+type transition struct {
+	ending bitset.Set
+	ent    int32
+}
+
+// shardOf spreads ending bitmasks over the engine's shards (Fibonacci
+// hashing; shardCount is a power of two).
+func (e *engine) shardOf(s bitset.Set) int {
+	return int((uint64(s)*0x9E3779B97F4A7C15)>>58) & (e.shardCount - 1)
+}
+
+// setTable is an open-addressing hash table from bitmask to int32, the
+// engine's replacement for map[bitset.Set]int32 on the per-transition hot
+// paths (state-index lookups and ending dedup run millions of times per
+// block; Go's map is several times slower than two or three linear
+// probes). Key and value share a slot so a probe touches one cache line.
+// Keys are non-empty sets, so 0 marks a free slot. The hash is the
+// splitmix64 finalizer: block bitmasks are highly structured (order
+// ideals share long runs of bits), and weaker multiplicative hashes
+// cluster badly enough on them to dominate the whole search.
+type setTable struct {
+	slots []setSlot
+	used  int
+	shift uint8 // 64 - log2(len(slots))
+}
+
+type setSlot struct {
+	k uint64
+	v int32
+}
+
+func newSetTable(hint int) *setTable {
+	size, shift := 16, uint8(60)
+	for size < hint*2 {
+		size <<= 1
+		shift--
+	}
+	return &setTable{slots: make([]setSlot, size), shift: shift}
+}
+
+// hashKey is the splitmix64 finalizer (full avalanche in ~5 ops).
+func hashKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *setTable) get(k bitset.Set) (int32, bool) {
+	mask := len(t.slots) - 1
+	for i := int(hashKey(uint64(k)) >> t.shift); ; i = (i + 1) & mask {
+		switch t.slots[i].k {
+		case uint64(k):
+			return t.slots[i].v, true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+func (t *setTable) put(k bitset.Set, v int32) {
+	if 2*(t.used+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := len(t.slots) - 1
+	for i := int(hashKey(uint64(k)) >> t.shift); ; i = (i + 1) & mask {
+		switch t.slots[i].k {
+		case 0:
+			t.slots[i] = setSlot{k: uint64(k), v: v}
+			t.used++
+			return
+		case uint64(k):
+			t.slots[i].v = v
+			return
+		}
+	}
+}
+
+func (t *setTable) grow() {
+	old := t.slots
+	t.slots = make([]setSlot, 2*len(old))
+	t.shift--
+	t.used = 0
+	for _, s := range old {
+		if s.k != 0 {
+			t.put(bitset.Set(s.k), s.v)
+		}
+	}
+}
+
+// entHandle packs a shard and a chunked position into a transition's
+// entry handle.
+func entHandle(shard int, pos int32) int32 { return int32(shard)<<25 | pos }
+
+// entryAt resolves a handle to its (stable) entry address.
+func (e *engine) entryAt(h int32) *stageEntry {
+	pos := h & (1<<25 - 1)
+	return &e.shards[h>>25].chunks[pos>>entChunkBits][pos&(1<<entChunkBits-1)]
+}
+
+// engine carries the DP state for one block search.
+type engine struct {
+	b    *graph.Block
+	opts Options
+	svc  *profile.Service
+
+	// stageSync and solo feed the allocation-free serial-tail candidate:
+	// a serial chain's latency is the stage barrier plus the sum of its
+	// nodes' solo durations (see Profiler.MeasureSerialChain). noisy
+	// falls back to the measured path so the noise protocol still applies
+	// per candidate.
+	stageSync float64
+	solo      []float64
+	noisy     bool
+
+	shards     [stageShardCount]stageShard
+	shardCount int
+
+	// The reachable state space, discovered by pass 1: states[i] is the
+	// bitmask of state i, index its inverse, levels[k] the states of
+	// cardinality k, endings[i] state i's admissible endings in
+	// enumeration order, each carrying its resolved stage-memo entry so
+	// the compute pass touches no map and no lock per transition. cost
+	// and last are indexed like states; all per-state slots are written
+	// lock-free (each state is owned by exactly one worker per level).
+	index   *setTable
+	states  []bitset.Set
+	levels  [][]int32
+	endings [][]transition
+	cost    []float64
+	last    []choice
+
+	workers []*engineWorker
+	// serial marks a one-worker engine: every lock degenerates to
+	// uncontended single-threaded access and is skipped on hot paths.
+	serial bool
+	stop   atomic.Bool // set on first error; drains in-flight levels
+	stats  Stats
+}
+
+// engineWorker is the per-goroutine state of one pool worker.
+type engineWorker struct {
+	e     *engine
+	prof  *profile.Profiler
+	enum  enumerator
+	stats Stats
+	err   error
+	// children buffers states discovered during one level of pass 1.
+	children []bitset.Set
+	// Fixed-capacity (bitset.MaxElems) measurement scratch: nodeBuf for
+	// the noisy serial-tail path, stageNodes/groupArena/groupLists for
+	// stage setup in measureStage.
+	nodeBuf    []*graph.Node
+	stageNodes []*graph.Node
+	groupArena []*graph.Node
+	groupLists [][]*graph.Node
+	// listScratch assembles one state's transition list; carve copies the
+	// exact-size result into listArena chunks, so list growth churns one
+	// reusable buffer instead of abandoning doubling backing arrays for
+	// every state.
+	listScratch []transition
+	listArena   []transition
+}
+
+// listChunkLen caps a worker's transition-arena chunk (records); chunks
+// start small and double so tiny blocks stay cheap.
+const listChunkLen = 1 << 15
+
+// carve copies a finished state list into the worker's arena, returning a
+// stable exact-size slice.
+func (w *engineWorker) carve(list []transition) []transition {
+	n := len(list)
+	if n == 0 {
+		return nil
+	}
+	if cap(w.listArena)-len(w.listArena) < n {
+		c := 2 * cap(w.listArena)
+		if c < 256 {
+			c = 256
+		}
+		if c > listChunkLen {
+			c = listChunkLen
+		}
+		if c < n {
+			c = n
+		}
+		w.listArena = make([]transition, 0, c)
+	}
+	start := len(w.listArena)
+	w.listArena = w.listArena[: start+n : cap(w.listArena)]
+	copy(w.listArena[start:], list)
+	return w.listArena[start : start+n : start+n]
+}
+
+// newEngine builds the engine and its measurement service: the passed
+// profiler prelowers the block's nodes (and computes their solo
+// durations), then each worker forks from it, sharing those immutable
+// tables.
+func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
+	e := &engine{b: b, opts: opts}
+	workers := opts.effectiveWorkers()
+	// A block can never keep more workers busy than it has operators, and
+	// Optimize may search GOMAXPROCS blocks concurrently — capping by
+	// block size keeps the fork fan-out proportional to real work.
+	if n := len(b.Nodes); workers > n {
+		workers = n
+	}
+	// Measurement noise draws from per-worker RNG streams, so which
+	// worker measures an ending would make noisy results racy; a single
+	// worker keeps them deterministic per seed (noise is an ablation
+	// feature — search speed is irrelevant there).
+	if prof.Noise > 0 {
+		workers = 1
+	}
+	e.svc = profile.NewService(prof, b.Nodes, workers)
+	e.stageSync = prof.Spec().StageSync
+	e.noisy = prof.Noise > 0
+	e.solo = make([]float64, len(b.Nodes))
+	for i, n := range b.Nodes {
+		e.solo[i] = prof.SoloDuration(n) // cached by the service's prelower
+	}
+	e.workers = make([]*engineWorker, e.svc.Workers())
+	e.serial = e.svc.Workers() == 1
+	e.shardCount = 1
+	for e.shardCount < 4*len(e.workers) {
+		e.shardCount <<= 1
+	}
+	if e.shardCount > stageShardCount {
+		e.shardCount = stageShardCount
+	}
+	for i := 0; i < e.shardCount; i++ {
+		e.shards[i].m = newSetTable(16)
+	}
+	for i := range e.workers {
+		e.workers[i] = &engineWorker{
+			e:          e,
+			prof:       e.svc.Worker(i),
+			stageNodes: make([]*graph.Node, 0, bitset.MaxElems),
+			groupArena: make([]*graph.Node, 0, bitset.MaxElems),
+			groupLists: make([][]*graph.Node, 0, bitset.MaxElems),
+		}
+	}
+	return e
+}
+
+// close releases the measurement service, folding worker measurement
+// counts back into the profiler the engine was built from.
+func (e *engine) close() { e.svc.Close() }
+
+// run executes both passes and reconstructs the block's stage list.
+func (e *engine) run() ([]schedule.Stage, Stats, error) {
+	e.discover()
+	if err := e.compute(); err != nil {
+		return nil, e.stats, err
+	}
+	stages, err := e.reconstruct()
+	return stages, e.stats, err
+}
+
+// runLevel applies fn to every state of one level, fanned out across the
+// worker pool with an atomic work-stealing cursor. A single-worker engine
+// runs inline: no goroutines, no atomics, so Workers=1 is a strictly
+// cheaper replacement for the reference recursion.
+func (e *engine) runLevel(items []int32, fn func(*engineWorker, int32)) {
+	if len(e.workers) == 1 || len(items) == 1 {
+		w := e.workers[0]
+		for _, id := range items {
+			if e.stop.Load() {
+				return
+			}
+			fn(w, id)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *engineWorker) {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(items)) || e.stop.Load() {
+					return
+				}
+				fn(w, items[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// discover runs pass 1: enumerate reachable states by decreasing
+// cardinality. Workers buffer newly seen remainders; the merge into the
+// global index happens serially at each level barrier, so the map is
+// read-only while a level is in flight.
+func (e *engine) discover() {
+	n := len(e.b.Nodes)
+	e.index = newSetTable(64)
+	e.levels = make([][]int32, n+1)
+	e.addState(e.b.All())
+	for k := n; k >= 1; k-- {
+		items := e.levels[k]
+		if len(items) == 0 {
+			continue
+		}
+		for len(e.endings) < len(e.states) {
+			e.endings = append(e.endings, nil)
+		}
+		e.runLevel(items, (*engineWorker).discoverState)
+		for _, w := range e.workers {
+			for _, c := range w.children {
+				e.addState(c)
+			}
+			w.children = w.children[:0]
+		}
+	}
+	e.cost = make([]float64, len(e.states))
+	e.last = make([]choice, len(e.states))
+}
+
+// addState registers a state if unseen. Serial (level barrier) only.
+func (e *engine) addState(s bitset.Set) {
+	if _, ok := e.index.get(s); ok {
+		return
+	}
+	id := int32(len(e.states))
+	e.index.put(s, id)
+	e.states = append(e.states, s)
+	e.levels[s.Len()] = append(e.levels[s.Len()], id)
+}
+
+// discoverState enumerates one state's admissible endings exactly once:
+// the list is stored for the compute pass, each distinct ending's group
+// structure is captured into the stage memo, and remainders not yet in
+// the index are buffered (duplicates within the in-flight level are
+// deduplicated at the merge).
+func (w *engineWorker) discoverState(id int32) {
+	e := w.e
+	s := e.states[id]
+	list := w.listScratch[:0]
+	w.enum.forEach(e.b, s, e.opts.Pruning, func(ending bitset.Set, comps []bitset.Set) bool {
+		list = append(list, transition{ending: ending, ent: e.recordEnding(ending, comps)})
+		rem := s.Diff(ending)
+		if rem.IsEmpty() {
+			return true
+		}
+		if _, known := e.index.get(rem); !known {
+			w.children = append(w.children, rem)
+		}
+		return true
+	})
+	e.endings[id] = w.carve(list)
+	w.listScratch = list[:0]
+}
+
+// recordEnding returns the stage memo handle for an ending, creating the
+// entry on first sight with the enumerator's component structure captured
+// so no later pass re-derives groups. A component partition is a property
+// of the ending alone (connectivity within the block), so whichever state
+// sees the ending first records the same groups.
+func (e *engine) recordEnding(ending bitset.Set, comps []bitset.Set) int32 {
+	shard := e.shardOf(ending)
+	sh := &e.shards[shard]
+	if !e.serial {
+		sh.mu.Lock()
+	}
+	h, ok := sh.m.get(ending)
+	if !ok {
+		pos, ent := sh.alloc()
+		ent.groups = sh.carveGroups(comps)
+		h = entHandle(shard, pos)
+		sh.m.put(ending, h)
+	}
+	if !e.serial {
+		sh.mu.Unlock()
+	}
+	return h
+}
+
+// compute runs pass 2: evaluate cost[S] level by level, bottom-up.
+func (e *engine) compute() error {
+	for k := 1; k < len(e.levels); k++ {
+		items := e.levels[k]
+		if len(items) == 0 {
+			continue
+		}
+		e.runLevel(items, (*engineWorker).computeState)
+		for _, w := range e.workers {
+			if w.err != nil {
+				return w.err
+			}
+		}
+	}
+	for _, w := range e.workers {
+		e.stats.States += w.stats.States
+		e.stats.Transitions += w.stats.Transitions
+	}
+	return nil
+}
+
+// computeState evaluates Algorithm 1's SCHEDULER for one state: the
+// serial-tail candidate first, then every admissible ending in
+// enumeration order, exactly as the reference recursion does.
+func (w *engineWorker) computeState(id int32) {
+	e := w.e
+	s := e.states[id]
+	w.stats.States++
+
+	// Serial-tail candidate: close the whole remaining suffix as one
+	// stage whose single group runs every operator back-to-back on one
+	// stream. The pruning strategy caps the size of *parallel* groups
+	// (Section 4.3); a pure serial chain involves no inter-operator
+	// parallelism, so admitting it at any length only restores schedules
+	// the unpruned space already contains (in particular, the stream-
+	// sequential schedule, which IOS must never lose to).
+	w.stats.Transitions++
+	best := w.serialLatency(s)
+	bestChoice := choice{ending: s, strategy: schedule.Concurrent, serial: true}
+
+	for _, tr := range e.endings[id] {
+		w.stats.Transitions++
+		ent := e.entryAt(tr.ent)
+		if !ent.done.Load() {
+			e.measureSlow(ent, tr.ending, w)
+		}
+		if ent.err != nil {
+			w.err = ent.err
+			e.stop.Store(true)
+			break
+		}
+		if !ent.ok {
+			continue // infeasible under the strategy restriction
+		}
+		var sub float64
+		if rem := s.Diff(tr.ending); !rem.IsEmpty() {
+			ci, _ := e.index.get(rem) // strictly lower level: complete
+			sub = e.cost[ci]
+		}
+		if total := sub + ent.lat; total < best {
+			best = total
+			bestChoice = choice{ending: tr.ending, strategy: ent.strategy}
+		}
+	}
+	e.cost[id] = best
+	e.last[id] = bestChoice
+}
+
+// serialLatency is the serial-tail candidate's latency: barrier plus the
+// per-node solo durations, summed in topological order (bit-identical to
+// Profiler.MeasureSerialChain, which the noisy path still uses so the
+// median-of-k noise protocol applies per candidate).
+func (w *engineWorker) serialLatency(s bitset.Set) float64 {
+	e := w.e
+	if e.noisy {
+		w.nodeBuf = w.nodeBuf[:0]
+		for i := s.NextAfter(-1); i >= 0; i = s.NextAfter(i) {
+			w.nodeBuf = append(w.nodeBuf, e.b.Nodes[i])
+		}
+		return w.prof.MeasureSerialChain(w.nodeBuf)
+	}
+	total := e.stageSync
+	for i := s.NextAfter(-1); i >= 0; i = s.NextAfter(i) {
+		total += e.solo[i]
+	}
+	return total
+}
+
+// measureSlow is the stage singleflight's slow path: take the entry lock,
+// re-check, measure, publish.
+func (e *engine) measureSlow(ent *stageEntry, ending bitset.Set, w *engineWorker) {
+	if e.serial {
+		e.measureStage(ent, ending, w)
+		ent.done.Store(true)
+		return
+	}
+	ent.mu.Lock()
+	if !ent.done.Load() {
+		e.measureStage(ent, ending, w)
+		ent.done.Store(true)
+	}
+	ent.mu.Unlock()
+}
+
+// measureStage is Algorithm 1's GENERATESTAGE: choose the better
+// parallelization strategy for the candidate stage and record its
+// measured latency. ok=false means the stage is infeasible under the
+// configured StrategySet (e.g. MergeOnly with unmergeable multi-op sets).
+// ent.groups was captured at discovery and is canonicalized (sorted by
+// smallest element) here, once per distinct ending. The node lists handed
+// to the measurement are built in the worker's fixed-capacity scratch —
+// the simulator does not retain them — so measurement setup allocates
+// nothing.
+func (e *engine) measureStage(ent *stageEntry, ending bitset.Set, w *engineWorker) {
+	groups := ent.groups
+	sortGroups(groups)
+	nodes := w.stageNodes[:0]
+	for i := ending.NextAfter(-1); i >= 0; i = ending.NextAfter(i) {
+		nodes = append(nodes, e.b.Nodes[i])
+	}
+	// Slice per-group node lists out of one fixed-capacity arena; the
+	// capacity bound (bitset.MaxElems ≥ any block) guarantees no
+	// relocation invalidates earlier sub-slices.
+	flat := w.groupArena[:0]
+	groupNodes := w.groupLists[:0]
+	for _, gs := range groups {
+		start := len(flat)
+		for i := gs.NextAfter(-1); i >= 0; i = gs.NextAfter(i) {
+			flat = append(flat, e.b.Nodes[i])
+		}
+		groupNodes = append(groupNodes, flat[start:len(flat):len(flat)])
+	}
+
+	// Under MergeOnly (the paper's IOS-Merge variant) stages may not use
+	// inter-operator parallelism: a concurrent stage is admissible only
+	// when it degenerates to a single sequential chain, which makes the
+	// variant coincide with the sequential schedule on networks without
+	// merge opportunities (Section 6.1's RandWire/NasNet observation).
+	concurrentAllowed := e.opts.Strategies != MergeOnly || len(groups) == 1
+	mergeAllowed := e.opts.Strategies != ParallelOnly && profile.CanMerge(nodes)
+
+	lConc, lMerge := math.Inf(1), math.Inf(1)
+	var err error
+	if concurrentAllowed {
+		lConc, err = w.prof.MeasureStageUncached(schedule.Stage{Strategy: schedule.Concurrent, Groups: groupNodes})
+		if err != nil {
+			ent.err = err
+			return
+		}
+	}
+	if mergeAllowed {
+		lMerge, err = w.prof.MeasureStageUncached(schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{nodes}})
+		if err != nil {
+			ent.err = err
+			return
+		}
+	}
+	switch {
+	case math.IsInf(lConc, 1) && math.IsInf(lMerge, 1):
+		ent.ok = false
+	case lConc <= lMerge:
+		ent.lat, ent.strategy, ent.ok = lConc, schedule.Concurrent, true
+	default:
+		ent.lat, ent.strategy, ent.ok = lMerge, schedule.Merge, true
+	}
+}
+
+// reconstruct walks choice[] backwards from the full set (Algorithm 1
+// L6-11), prepending stages. Chosen endings reuse the group structure the
+// stage memo captured at discovery, so no BFS runs here either.
+func (e *engine) reconstruct() ([]schedule.Stage, error) {
+	var rev []schedule.Stage
+	for s := e.b.All(); !s.IsEmpty(); {
+		id, ok := e.index.get(s)
+		if !ok || e.last[id].ending.IsEmpty() {
+			return nil, fmt.Errorf("no feasible schedule for state %v (over-restrictive strategy set?)", s)
+		}
+		c := e.last[id]
+		rev = append(rev, e.buildStage(c))
+		s = s.Diff(c.ending)
+	}
+	stages := make([]schedule.Stage, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		stages = append(stages, rev[i])
+	}
+	return stages, nil
+}
+
+// buildStage materializes a schedule stage from a DP choice. This runs
+// once per emitted stage, with fresh slices (the schedule outlives the
+// engine's scratch).
+func (e *engine) buildStage(c choice) schedule.Stage {
+	switch {
+	case c.serial:
+		// The serial tail is one single-group concurrent stage: every
+		// operator issues back-to-back on one stream in topological order.
+		return schedule.Stage{Strategy: schedule.Concurrent, Groups: [][]*graph.Node{e.nodesOf(c.ending)}}
+	case c.strategy == schedule.Merge:
+		return schedule.Stage{Strategy: schedule.Merge, Groups: [][]*graph.Node{e.nodesOf(c.ending)}}
+	default:
+		groups := e.entryOf(c.ending).groups // canonicalized at measurement
+		groupNodes := make([][]*graph.Node, len(groups))
+		for gi, gs := range groups {
+			groupNodes[gi] = e.nodesOf(gs)
+		}
+		return schedule.Stage{Strategy: schedule.Concurrent, Groups: groupNodes}
+	}
+}
+
+// entryOf returns the stage memo entry of a chosen ending; the choice
+// came out of the compute pass, so the entry exists and is complete.
+func (e *engine) entryOf(ending bitset.Set) *stageEntry {
+	sh := &e.shards[e.shardOf(ending)]
+	sh.mu.Lock()
+	h, ok := sh.m.get(ending)
+	sh.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("core: no stage memo entry for chosen ending %v", ending))
+	}
+	return e.entryAt(h)
+}
+
+// nodesOf converts a block-local bitset to nodes in topological order.
+func (e *engine) nodesOf(s bitset.Set) []*graph.Node {
+	nodes := make([]*graph.Node, 0, s.Len())
+	for i := s.NextAfter(-1); i >= 0; i = s.NextAfter(i) {
+		nodes = append(nodes, e.b.Nodes[i])
+	}
+	return nodes
+}
+
+// sortGroups orders disjoint component sets by smallest element — the
+// canonical order groupsOf produces and the stream order stages are
+// measured (and emitted) with. Insertion sort: group counts are tiny (at
+// most the pruning bound s, 64 absolute), and sort.Slice's reflection
+// machinery allocates.
+func sortGroups(groups []bitset.Set) {
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		j := i - 1
+		for j >= 0 && groups[j].Min() > g.Min() {
+			groups[j+1] = groups[j]
+			j--
+		}
+		groups[j+1] = g
+	}
+}

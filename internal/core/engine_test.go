@@ -1,0 +1,94 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"ios/internal/models"
+	"ios/internal/schedule"
+)
+
+// TestEngineMatchesReferenceZoo proves the acceptance property on real
+// networks: the parallel engine returns bit-identical schedules, costs,
+// and search statistics to the original recursion, block by block, across
+// the model zoo. The two search-heavy paper benchmarks (RandWire, NasNet)
+// take tens of seconds under the reference recursion, so they run only
+// with IOS_FULL_EQUIV=1 (the recorded full-zoo run is in PERF.md).
+func TestEngineMatchesReferenceZoo(t *testing.T) {
+	builders := []models.Builder{
+		models.Figure2Block, models.InceptionE, models.SqueezeNet, models.InceptionV3,
+	}
+	if os.Getenv("IOS_FULL_EQUIV") != "" {
+		builders = append(builders, models.RandWire, models.NasNetA)
+	} else if testing.Short() {
+		builders = builders[:3]
+	}
+	for _, build := range builders {
+		g := build(1)
+		blocks, err := g.Partition(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			refProf := v100Profiler()
+			refStages, refStats, err := optimizeBlockReference(b, refProf, Options{})
+			if err != nil {
+				t.Fatalf("%s block %d: reference: %v", g.Name, b.Index, err)
+			}
+			prof := v100Profiler()
+			stages, stats, err := OptimizeBlock(b, prof, Options{})
+			if err != nil {
+				t.Fatalf("%s block %d: engine: %v", g.Name, b.Index, err)
+			}
+			got := (&schedule.Schedule{Graph: g, Stages: stages}).String()
+			want := (&schedule.Schedule{Graph: g, Stages: refStages}).String()
+			if got != want {
+				t.Fatalf("%s block %d: schedule mismatch:\n%s\nvs reference\n%s", g.Name, b.Index, got, want)
+			}
+			if stats.States != refStats.States || stats.Transitions != refStats.Transitions ||
+				stats.Measurements != refProf.Measurements {
+				t.Errorf("%s block %d: stats (%d states, %d transitions, %d measurements) != reference (%d, %d, %d)",
+					g.Name, b.Index, stats.States, stats.Transitions, stats.Measurements,
+					refStats.States, refStats.Transitions, refProf.Measurements)
+			}
+			// Bit-identical cost under one shared fresh profiler.
+			check := v100Profiler()
+			var lat, refLat float64
+			for _, st := range stages {
+				l, err := check.MeasureStage(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lat += l
+			}
+			for _, st := range refStages {
+				l, err := check.MeasureStage(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refLat += l
+			}
+			if lat != refLat {
+				t.Errorf("%s block %d: cost %g != reference %g", g.Name, b.Index, lat, refLat)
+			}
+		}
+	}
+}
+
+// TestForkSharesLoweringTables: a fork of a prelowered profiler performs
+// no additional solo simulations for the shared nodes (the satellite fix:
+// Fork used to discard the parent's lowered/solo caches).
+func TestForkSharesLoweringTables(t *testing.T) {
+	g := models.InceptionE(1)
+	prof := v100Profiler()
+	prof.Prelower(g.SchedulableNodes())
+	before := prof.Measurements
+	f := prof.Fork()
+	f.Prelower(g.SchedulableNodes()) // all cached: must be free
+	if f.Measurements != 0 {
+		t.Errorf("fork re-measured %d solo durations despite shared tables", f.Measurements)
+	}
+	if prof.Measurements != before {
+		t.Errorf("forking changed the parent's measurement count")
+	}
+}

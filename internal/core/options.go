@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -121,6 +122,17 @@ type Options struct {
 	Pruning Pruning `json:"pruning,omitempty"`
 	// MaxBlockOps caps the block partition size (0 = bitset limit).
 	MaxBlockOps int `json:"max_block_ops,omitempty"`
+	// Workers caps the per-block DP engine's worker pool (goroutines with
+	// private simulators processing one cardinality level's states in
+	// parallel). 0 or negative means GOMAXPROCS; the engine additionally
+	// caps the pool at the block's operator count, and forces one worker
+	// when the profiler has measurement noise enabled (noisy draws are
+	// order-dependent, so a single worker keeps them deterministic per
+	// seed). Workers is an execution knob, not a search-space knob: the
+	// engine produces bit-identical schedules, costs, and search
+	// statistics at every setting, which is why Fingerprint deliberately
+	// excludes it (cached schedules are shared across worker counts).
+	Workers int `json:"workers,omitempty"`
 }
 
 // withDefaults fills unset options. It is idempotent: explicit unbounded
@@ -147,9 +159,18 @@ func (o Options) withDefaults() Options {
 // collapse — use Fingerprint, which is what schedule caches key on.
 func (o Options) Canonical() Options { return o.withDefaults() }
 
+// effectiveWorkers resolves the Workers knob to a concrete pool size.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Fingerprint renders the canonical options as a short stable string
 // ("IOS-Both/r=3,s=8" or "IOS-Both/r=3,s=8/block=40"), suitable as a
-// cache-key component.
+// cache-key component. Workers is excluded: it changes how the search
+// executes, never what it returns.
 func (o Options) Fingerprint() string {
 	c := o.Canonical()
 	s := c.Strategies.String() + "/" + c.Pruning.String()

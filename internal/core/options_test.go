@@ -137,3 +137,27 @@ func TestOptionsFingerprint(t *testing.T) {
 		t.Error("default and explicit-default options fingerprint differently")
 	}
 }
+
+func TestWorkersExcludedFromFingerprint(t *testing.T) {
+	// Workers changes how the search executes, never its result, so
+	// cached schedules must be shared across worker counts.
+	a := Options{Workers: 1}.Fingerprint()
+	b := Options{Workers: 16}.Fingerprint()
+	if a != b {
+		t.Errorf("fingerprint depends on Workers: %q vs %q", a, b)
+	}
+}
+
+func TestWorkersJSONRoundTrip(t *testing.T) {
+	var got Options
+	data, err := json.Marshal(Options{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 7 {
+		t.Errorf("workers round-trip = %d, want 7", got.Workers)
+	}
+}

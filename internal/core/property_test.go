@@ -6,6 +6,7 @@ import (
 
 	"ios/internal/baseline"
 	"ios/internal/graph"
+	"ios/internal/schedule"
 )
 
 // randomGraph builds a random layered CNN graph: each layer's nodes draw
@@ -164,6 +165,107 @@ func TestPropertyCostMatchesMeasured(t *testing.T) {
 				t.Errorf("trial %d block %d: measurement not reproducible: %g vs %g",
 					trial, b.Index, sum1, sum2)
 			}
+		}
+	}
+}
+
+// stagesString renders a stage list for bit-exact schedule comparison.
+func stagesString(g *graph.Graph, stages []schedule.Stage) string {
+	s := &schedule.Schedule{Graph: g, Stages: stages}
+	return s.String()
+}
+
+// TestPropertyEngineMatchesReference: the parallel bottom-up engine must
+// reproduce the original memoized recursion exactly — same stages, same
+// measured cost, same States/Transitions/Measurements — on random DAGs,
+// for every strategy set, at both Workers=1 and Workers=4 (run under
+// -race, this also exercises the level-parallel paths).
+func TestPropertyEngineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	strategies := []StrategySet{Both, ParallelOnly, MergeOnly}
+	prunings := []Pruning{DefaultPruning, {R: 2, S: 2}, {R: -1, S: -1}}
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng)
+		blocks, err := g.Partition(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat := strategies[trial%len(strategies)]
+		prune := prunings[trial%len(prunings)]
+		for _, b := range blocks {
+			refProf := v100Profiler()
+			refStages, refStats, refErr := optimizeBlockReference(b, refProf, Options{Strategies: strat, Pruning: prune})
+			if refErr != nil {
+				t.Fatalf("trial %d: reference: %v", trial, refErr)
+			}
+			for _, workers := range []int{1, 4} {
+				prof := v100Profiler()
+				stages, stats, err := OptimizeBlock(b, prof, Options{Strategies: strat, Pruning: prune, Workers: workers})
+				if err != nil {
+					t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+				}
+				if got, want := stagesString(g, stages), stagesString(g, refStages); got != want {
+					t.Fatalf("trial %d block %d workers %d (%v, %v): schedule mismatch:\n%s\nvs reference\n%s",
+						trial, b.Index, workers, strat, prune, got, want)
+				}
+				if stats.States != refStats.States || stats.Transitions != refStats.Transitions {
+					t.Errorf("trial %d block %d workers %d: stats %+v != reference %+v",
+						trial, b.Index, workers, stats, refStats)
+				}
+				if stats.Measurements != refProf.Measurements {
+					t.Errorf("trial %d block %d workers %d: measurements %d != reference %d",
+						trial, b.Index, workers, stats.Measurements, refProf.Measurements)
+				}
+				// Bit-identical costs: re-measure both stage lists on one
+				// fresh profiler and compare exactly.
+				check := v100Profiler()
+				var got, want float64
+				for _, st := range stages {
+					l, err := check.MeasureStage(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got += l
+				}
+				for _, st := range refStages {
+					l, err := check.MeasureStage(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want += l
+				}
+				if got != want {
+					t.Errorf("trial %d block %d workers %d: cost %g != reference %g",
+						trial, b.Index, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyWorkersInvariance: whole-graph optimization is bit-identical
+// across worker counts, including the search statistics.
+func TestPropertyWorkersInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(rng)
+		r1, err := Optimize(g, v100Profiler(), Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := Optimize(g, v100Profiler(), Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Schedule.String() != r4.Schedule.String() {
+			t.Fatalf("trial %d: schedules differ across worker counts:\n%s\nvs\n%s",
+				trial, r1.Schedule, r4.Schedule)
+		}
+		if r1.Stats.States != r4.Stats.States ||
+			r1.Stats.Transitions != r4.Stats.Transitions ||
+			r1.Stats.Measurements != r4.Stats.Measurements {
+			t.Errorf("trial %d: stats differ across worker counts: %+v vs %+v",
+				trial, r1.Stats, r4.Stats)
 		}
 	}
 }

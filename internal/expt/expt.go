@@ -129,13 +129,15 @@ var All = map[string]Runner{
 	"fig15":  Fig15,
 	"fig16":  Fig16,
 	"resnet": ResNet,
+	"search": SearchCost,
 }
 
 // Names returns the experiment ids in report order: the paper's tables
 // and figures first, then the extension studies (see extensions.go).
 func Names() []string {
 	return append([]string{"fig1", "fig2", "table1", "table2", "fig6", "fig7", "fig8",
-		"fig9", "table3", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "resnet"},
+		"fig9", "table3", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "resnet",
+		"search"},
 		ExtensionNames()...)
 }
 

@@ -3,6 +3,8 @@ package expt
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"time"
 
 	"ios/internal/core"
 	"ios/internal/gpusim"
@@ -140,4 +142,80 @@ func BlockComplexities(g *graph.Graph) ([]core.Complexity, error) {
 		out = append(out, core.AnalyzeBlock(b))
 	}
 	return out, nil
+}
+
+// SearchRow is one search-cost record: the cost of optimizing one
+// network's hardest block (and the whole network) at one worker count.
+// cmd/iosbench serializes these as BENCH_search.json so successive PRs
+// have a perf trajectory for the DP engine.
+type SearchRow struct {
+	Network      string  `json:"network"`
+	Scope        string  `json:"scope"` // "block" (hardest block) or "network"
+	Ops          int     `json:"ops"`
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	Measurements int     `json:"measurements"`
+}
+
+// SearchCostRows measures the DP engine's own cost across the benchmark
+// networks at Workers=1 and Workers=GOMAXPROCS (deduplicated when equal).
+// The schedules are identical at every worker count; only the wall time
+// may differ.
+func SearchCostRows(c Config) ([]SearchRow, error) {
+	c = c.withDefaults()
+	workerSettings := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerSettings = append(workerSettings, n)
+	}
+	var rows []SearchRow
+	names, graphs := c.benchmarks()
+	for i, g := range graphs {
+		hardest, err := core.HardestBlock(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workerSettings {
+			opts := c.Opts
+			opts.Workers = w
+			if hardest != nil {
+				start := time.Now()
+				_, bstats, err := core.OptimizeBlock(hardest, profile.New(c.Device), opts)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SearchRow{
+					Network: names[i], Scope: "block", Ops: len(hardest.Nodes), Workers: w,
+					WallMS: float64(time.Since(start)) / 1e6,
+					States: bstats.States, Transitions: bstats.Transitions, Measurements: bstats.Measurements,
+				})
+			}
+			res, err := core.Optimize(g, profile.New(c.Device), opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SearchRow{
+				Network: names[i], Scope: "network", Ops: len(g.SchedulableNodes()), Workers: w,
+				WallMS: float64(res.Stats.WallTime) / 1e6,
+				States: res.Stats.States, Transitions: res.Stats.Transitions, Measurements: res.Stats.Measurements,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SearchCost renders the SearchCostRows table (experiment id "search").
+func SearchCost(c Config, w io.Writer) error {
+	rows, err := SearchCostRows(c)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Search cost: DP engine on %s (identical schedules at every worker count)", c.withDefaults().Device.Name),
+		"network", "scope", "ops", "workers", "wall ms", "states", "#(S,S')", "measurements")
+	for _, r := range rows {
+		t.AddRow(r.Network, r.Scope, r.Ops, r.Workers, r.WallMS, r.States, r.Transitions, r.Measurements)
+	}
+	t.Render(w)
+	return nil
 }

@@ -37,6 +37,13 @@ type Sim struct {
 	active  []int
 	running []int
 	scratch []int
+	next    []int
+	// Rate-step scratch (assignRates/waterFill run once per simulated
+	// event, the hottest loop of a DP search).
+	computeRate []float64
+	granted     []float64
+	demand      []float64
+	unsat       []int
 }
 
 // New returns a simulator for the given device.
@@ -77,7 +84,14 @@ type activeKernel struct {
 // capacity, shared bandwidth, and contention.
 func (s *Sim) Run(streams []Stream) Result {
 	var res Result
-	next := make([]int, len(streams)) // next kernel index per stream
+	// next[si] is stream si's next kernel index (reused scratch).
+	if cap(s.next) < len(streams) {
+		s.next = make([]int, len(streams))
+	}
+	next := s.next[:len(streams)]
+	for i := range next {
+		next[i] = 0
+	}
 	s.arena = s.arena[:0]
 	s.active = s.active[:0]
 
@@ -271,7 +285,10 @@ func (s *Sim) assignRates() {
 
 	// Compute rates: device peak scaled by SM share and occupancy
 	// efficiency.
-	computeRate := make([]float64, len(s.running))
+	if cap(s.computeRate) < len(s.running) {
+		s.computeRate = make([]float64, len(s.running))
+	}
+	computeRate := s.computeRate[:len(s.running)]
 	for idx, i := range s.running {
 		ak := &s.arena[i]
 		warpsPerSM := 0.0
@@ -329,9 +346,19 @@ func (s *Sim) assignRates() {
 // the rest.
 func (s *Sim) waterFill(computeRate []float64, capacity float64) []float64 {
 	n := len(s.running)
-	granted := make([]float64, n)
-	demand := make([]float64, n)
-	unsat := make([]int, 0, n)
+	if cap(s.granted) < n {
+		s.granted = make([]float64, n)
+		s.demand = make([]float64, n)
+	}
+	granted := s.granted[:n]
+	demand := s.demand[:n]
+	for i := 0; i < n; i++ {
+		granted[i], demand[i] = 0, 0
+	}
+	if cap(s.unsat) < n {
+		s.unsat = make([]int, 0, n)
+	}
+	unsat := s.unsat[:0]
 	for idx, i := range s.running {
 		ak := &s.arena[i]
 		if ak.k.Bytes <= 0 {

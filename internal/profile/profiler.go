@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"ios/internal/gpusim"
 	"ios/internal/graph"
@@ -23,20 +24,37 @@ type Profiler struct {
 	// (0 disables). Repeats > 1 takes the median of that many draws.
 	Noise   float64
 	Repeats int
-	rng     *rand.Rand
+	// rng is allocated lazily: seeding a rand source costs microseconds,
+	// which a noise-free search pays once per profiler fork otherwise.
+	rng *rand.Rand
 
 	cache map[string]float64
-	// lowered caches each node's kernel sequence (nodes are immutable and
-	// options are fixed per profiler, so lowering is pure).
+	// Lowering and solo durations are pure per (node, options) — nodes are
+	// immutable and options are fixed per profiler — so forks share them.
+	// Each is split into an immutable shared base (published by Fork, read
+	// without locking) and a private overlay for entries computed since.
+	//
+	// baseLowered/baseSolo are never mutated after publication; mu guards
+	// only the freeze-and-publish step in Fork.
+	mu          sync.Mutex
+	baseLowered map[int][]gpusim.Kernel
+	baseSolo    map[int]float64
+	// lowered overlays baseLowered with each node's kernel sequence.
 	lowered map[int][]gpusim.Kernel
-	// solo caches each node's single-stream duration (its kernels run
-	// back-to-back, alone on the device), the building block of serial
-	// chains: kernels on one stream do not interact in the simulator, so
-	// a chain's latency is exactly the sum of its nodes' solo durations.
+	// solo overlays baseSolo with each node's single-stream duration (its
+	// kernels run back-to-back, alone on the device), the building block of
+	// serial chains: kernels on one stream do not interact in the
+	// simulator, so a chain's latency is exactly the sum of its nodes'
+	// solo durations.
 	solo map[int]float64
 	// Measurements counts simulator invocations (not cache hits), the
 	// analogue of on-device measurements the paper's search cost tracks.
 	Measurements int
+
+	// Stream-building scratch for the uncached measurement path (the DP's
+	// hot loop); see stageStreamsPooled.
+	streamBuf     []gpusim.Stream
+	streamKernels [][]gpusim.Kernel
 }
 
 // New returns a profiler for the given device with default (IOS engine)
@@ -56,7 +74,6 @@ func NewWithOptions(spec gpusim.Spec, opts Options) *Profiler {
 		cache:   make(map[string]float64),
 		lowered: make(map[int][]gpusim.Kernel),
 		solo:    make(map[int]float64),
-		rng:     rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -69,14 +86,80 @@ func (p *Profiler) Options() Options { return p.opts }
 // SetSeed reseeds the measurement-noise generator.
 func (p *Profiler) SetSeed(seed int64) { p.rng = rand.New(rand.NewSource(seed)) }
 
+// rand returns the noise generator, seeding it on first use.
+func (p *Profiler) rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(1))
+	}
+	return p.rng
+}
+
 // Fork returns an independent profiler with the same device and options
-// but its own cache and noise stream, so per-block searches can run on
-// separate goroutines. Measurement counts accumulate per fork; callers sum
-// them.
+// but its own simulator, stage cache, and noise stream, so searches can
+// run on separate goroutines. The parent's lowered-kernel and solo
+// -duration tables — pure, node-immutable data — are frozen and shared
+// with the fork read-only, so forks never re-lower nodes the parent (or a
+// Prelower call) has already processed. Measurement counts accumulate per
+// fork; callers sum them.
+//
+// Fork synchronizes with concurrent Fork calls but not with in-flight
+// measurements on the same profiler; quiesce the parent before forking.
 func (p *Profiler) Fork() *Profiler {
-	f := NewWithOptions(p.sim.Spec(), p.opts)
-	f.Noise, f.Repeats = p.Noise, p.Repeats
+	p.mu.Lock()
+	p.freezeLocked()
+	base, baseSolo := p.baseLowered, p.baseSolo
+	p.mu.Unlock()
+	f := &Profiler{
+		// Reuse the parent's spec verbatim: it already carries any
+		// LaunchOverheadScale adjustment, which NewWithOptions would
+		// wrongly apply a second time.
+		sim:         gpusim.New(p.sim.Spec()),
+		opts:        p.opts,
+		cache:       make(map[string]float64),
+		baseLowered: base,
+		baseSolo:    baseSolo,
+		lowered:     make(map[int][]gpusim.Kernel),
+		solo:        make(map[int]float64),
+		Noise:       p.Noise,
+		Repeats:     p.Repeats,
+	}
 	return f
+}
+
+// freezeLocked merges the private overlays into fresh immutable base maps
+// so they can be shared with forks. Caller holds p.mu.
+func (p *Profiler) freezeLocked() {
+	if len(p.lowered) == 0 && len(p.solo) == 0 {
+		return // base already covers everything computed so far
+	}
+	lowered := make(map[int][]gpusim.Kernel, len(p.baseLowered)+len(p.lowered))
+	for id, ks := range p.baseLowered {
+		lowered[id] = ks
+	}
+	for id, ks := range p.lowered {
+		lowered[id] = ks
+	}
+	solo := make(map[int]float64, len(p.baseSolo)+len(p.solo))
+	for id, d := range p.baseSolo {
+		solo[id] = d
+	}
+	for id, d := range p.solo {
+		solo[id] = d
+	}
+	p.baseLowered, p.baseSolo = lowered, solo
+	p.lowered = make(map[int][]gpusim.Kernel)
+	p.solo = make(map[int]float64)
+}
+
+// Prelower computes the kernel sequence and solo duration of every given
+// node, so subsequent forks share the full tables instead of re-lowering
+// per goroutine. Solo durations that are not yet cached cost one simulator
+// invocation each (counted in Measurements, exactly as lazy computation
+// would have been).
+func (p *Profiler) Prelower(nodes []*graph.Node) {
+	for _, n := range nodes {
+		p.SoloDuration(n) // lowers the node and caches both tables
+	}
 }
 
 // stageKey builds a canonical cache key for a stage.
@@ -108,14 +191,56 @@ func stageKey(st schedule.Stage) string {
 	return b.String()
 }
 
-// lowerNode returns the node's kernels through the per-node cache.
+// lowerNode returns the node's kernels through the shared-base/overlay
+// cache pair.
 func (p *Profiler) lowerNode(n *graph.Node) []gpusim.Kernel {
+	if ks, ok := p.baseLowered[n.ID]; ok {
+		return ks
+	}
 	if ks, ok := p.lowered[n.ID]; ok {
 		return ks
 	}
 	ks := LowerNode(n, p.opts)
 	p.lowered[n.ID] = ks
 	return ks
+}
+
+// stageStreamsPooled lowers a stage into the profiler's reusable stream
+// scratch. The result is valid until the next pooled call; callers must
+// not retain it. The Merge path still allocates (kernel fusion builds new
+// kernels by nature).
+func (p *Profiler) stageStreamsPooled(st schedule.Stage) ([]gpusim.Stream, error) {
+	if st.Strategy == schedule.Merge {
+		kernels, err := MergedKernels(st.Ops(), p.opts)
+		if err != nil {
+			return nil, err
+		}
+		p.streamBuf = append(p.streamBuf[:0], kernels)
+		return p.streamBuf, nil
+	}
+	streams := p.streamBuf[:0]
+	used := 0
+	for _, grp := range st.Groups {
+		if used == len(p.streamKernels) {
+			p.streamKernels = append(p.streamKernels, nil)
+		}
+		s := p.streamKernels[used][:0]
+		for _, n := range grp {
+			s = append(s, p.lowerNode(n)...)
+		}
+		if len(s) > 0 {
+			p.streamKernels[used] = s
+			streams = append(streams, gpusim.Stream(s))
+			used++
+		}
+	}
+	p.streamBuf = streams
+	if len(streams) == 0 {
+		// A stage of only free ops (identities) still pays the barrier;
+		// emit no streams.
+		return nil, nil
+	}
+	return streams, nil
 }
 
 // StageStreams lowers a stage to per-stream kernel programs.
@@ -163,9 +288,12 @@ func (p *Profiler) MeasureStage(st schedule.Stage) (float64, error) {
 // MeasureStageUncached measures a stage without consulting or filling the
 // content cache. The IOS dynamic program uses this path because it holds
 // its own per-block memo keyed by operator bitmask, which makes the string
-// cache pure overhead on the search's hot loop.
+// cache pure overhead on the search's hot loop. Stream programs are built
+// in per-profiler scratch (the simulator does not retain them), so the
+// search's hundreds of thousands of measurements produce no stream
+// garbage; use StageStreams to obtain streams a caller may keep.
 func (p *Profiler) MeasureStageUncached(st schedule.Stage) (float64, error) {
-	streams, err := p.StageStreams(st)
+	streams, err := p.stageStreamsPooled(st)
 	if err != nil {
 		return 0, err
 	}
@@ -175,9 +303,10 @@ func (p *Profiler) MeasureStageUncached(st schedule.Stage) (float64, error) {
 		if n < 1 {
 			n = 1
 		}
+		rng := p.rand()
 		draws := make([]float64, n)
 		for i := range draws {
-			eps := (p.rng.Float64()*2 - 1) * p.Noise
+			eps := (rng.Float64()*2 - 1) * p.Noise
 			draws[i] = lat * (1 + eps)
 		}
 		sort.Float64s(draws)
@@ -231,16 +360,17 @@ func (p *Profiler) applyExtraOverhead(streams []gpusim.Stream) []gpusim.Stream {
 func (p *Profiler) MeasureSerialChain(nodes []*graph.Node) float64 {
 	total := p.sim.Spec().StageSync
 	for _, n := range nodes {
-		total += p.soloDuration(n)
+		total += p.SoloDuration(n)
 	}
 	if p.Noise > 0 {
 		n := p.Repeats
 		if n < 1 {
 			n = 1
 		}
+		rng := p.rand()
 		draws := make([]float64, n)
 		for i := range draws {
-			eps := (p.rng.Float64()*2 - 1) * p.Noise
+			eps := (rng.Float64()*2 - 1) * p.Noise
 			draws[i] = total * (1 + eps)
 		}
 		sort.Float64s(draws)
@@ -249,8 +379,15 @@ func (p *Profiler) MeasureSerialChain(nodes []*graph.Node) float64 {
 	return total
 }
 
-// soloDuration returns (and caches) one node's single-stream duration.
-func (p *Profiler) soloDuration(n *graph.Node) float64 {
+// SoloDuration returns (and caches) one node's single-stream duration:
+// its kernels back-to-back, alone on the device, without the stage
+// barrier. Serial chains decompose into these exactly, which is what lets
+// the DP engine evaluate its serial-tail candidate per state without a
+// simulator run.
+func (p *Profiler) SoloDuration(n *graph.Node) float64 {
+	if d, ok := p.baseSolo[n.ID]; ok {
+		return d
+	}
 	if d, ok := p.solo[n.ID]; ok {
 		return d
 	}

@@ -441,4 +441,3 @@ func TestOversizedBodyIs413(t *testing.T) {
 		t.Fatalf("413 body not an error JSON: %v", err)
 	}
 }
-
