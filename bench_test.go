@@ -13,6 +13,7 @@ package ios_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -215,7 +216,7 @@ func BenchmarkMeasureSchedule(b *testing.B) {
 func BenchmarkScheduleCacheHit(b *testing.B) {
 	cache := ios.NewScheduleCache(16)
 	key := ios.CacheKey{Model: "inception", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
-	compute := func() (*ios.CacheEntry, error) {
+	compute := func(context.Context) (*ios.CacheEntry, error) {
 		g := ios.InceptionV3(1)
 		res, err := ios.Optimize(g, ios.V100, ios.Options{})
 		if err != nil {
@@ -223,13 +224,13 @@ func BenchmarkScheduleCacheHit(b *testing.B) {
 		}
 		return &ios.CacheEntry{Graph: g, Schedule: res.Schedule, Stats: res.Stats}, nil
 	}
-	if _, _, err := cache.GetOrCompute(key, compute); err != nil {
+	if _, _, err := cache.GetOrCompute(context.Background(), key, compute); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, cached, err := cache.GetOrCompute(key, compute); err != nil || !cached {
+		if _, cached, err := cache.GetOrCompute(context.Background(), key, compute); err != nil || !cached {
 			b.Fatalf("cached=%v err=%v", cached, err)
 		}
 	}
@@ -240,7 +241,7 @@ func BenchmarkScheduleCacheHit(b *testing.B) {
 func BenchmarkScheduleCacheMiss(b *testing.B) {
 	cache := ios.NewScheduleCache(16)
 	key := ios.CacheKey{Model: "fig2", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
-	compute := func() (*ios.CacheEntry, error) {
+	compute := func(context.Context) (*ios.CacheEntry, error) {
 		g := ios.Figure2Block(1)
 		res, err := ios.Optimize(g, ios.V100, ios.Options{})
 		if err != nil {
@@ -252,7 +253,7 @@ func BenchmarkScheduleCacheMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache.Purge()
-		if _, cached, err := cache.GetOrCompute(key, compute); err != nil || cached {
+		if _, cached, err := cache.GetOrCompute(context.Background(), key, compute); err != nil || cached {
 			b.Fatalf("cached=%v err=%v", cached, err)
 		}
 	}

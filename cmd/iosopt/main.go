@@ -9,10 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ios/internal/baseline"
 	"ios/internal/core"
@@ -33,6 +38,8 @@ func main() {
 		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "strategy set: both, parallel, merge")
 		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block (0 = GOMAXPROCS); results are identical at every setting")
+		progress   = flag.Bool("progress", false, "report search progress (states/transitions/measurements, current level) on stderr")
+		timeout    = flag.Duration("timeout", 0, "abort the search after this long (e.g. 2m; 0 = no limit)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -40,6 +47,16 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// Ctrl-C (or SIGTERM) cancels the in-flight search cleanly: workers
+	// drain, nothing is half-written, and iosopt exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := loadGraph(*graphFlag, *modelFlag, *batchFlag)
 	if err != nil {
@@ -55,10 +72,26 @@ func main() {
 		fatal(err)
 	}
 	opts.Strategies = strat
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
+	var progressFn func(core.Progress)
+	if *progress {
+		progressFn = progressPrinter()
+	}
 
 	prof := profile.New(spec)
-	res, err := core.Optimize(g, prof, opts)
+	res, err := core.OptimizeWithProgress(ctx, g, prof, opts, progressFn)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the \r progress line
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted; search cancelled cleanly"))
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("timed out after %v; search cancelled cleanly", *timeout))
+		}
 		fatal(err)
 	}
 	iosLat, err := prof.MeasureSchedule(res.Schedule)
@@ -88,6 +121,22 @@ func main() {
 	}
 	if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// progressPrinter returns a core progress callback that repaints one
+// stderr status line, throttled to ~10 updates/second so large searches
+// don't drown the terminal.
+func progressPrinter() func(core.Progress) {
+	var last time.Time
+	return func(p core.Progress) {
+		if now := time.Now(); now.Sub(last) < 100*time.Millisecond {
+			return
+		} else {
+			last = now
+		}
+		fmt.Fprintf(os.Stderr, "\riosopt: block %d/%d %s level %d/%d · %d states · %d transitions · %d measurements   ",
+			p.Block, p.Blocks, p.Phase, p.Level, p.Levels, p.States, p.Transitions, p.Measurements)
 	}
 }
 

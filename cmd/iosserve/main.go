@@ -21,13 +21,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"ios/internal/core"
 	"ios/internal/gpusim"
@@ -46,6 +52,7 @@ func main() {
 		sFlag      = flag.Int("s", 8, "default pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "default strategy set: both, parallel, merge")
 		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block on cache misses (0 = GOMAXPROCS); schedules are identical at every setting")
+		deadline   = flag.Duration("deadline", 0, "server-side per-request deadline (e.g. 30s); requests over it are shed with 503 and their searches cancelled (0 = none)")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Usage = func() {
@@ -63,15 +70,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts := core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}, Workers: *workers}
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
 	cfg := serve.Config{
-		Device:  spec,
-		Options: core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}, Workers: *workers},
-		Cache:   serve.NewScheduleCache(*cacheFlag),
+		Device:   spec,
+		Options:  opts,
+		Cache:    serve.NewScheduleCache(*cacheFlag),
+		Deadline: *deadline,
 	}
 	if !*quietFlag {
 		cfg.Logf = log.New(os.Stderr, "iosserve: ", log.LstdFlags).Printf
 	}
 	srv := serve.NewServer(cfg)
+
+	// SIGINT/SIGTERM cancel this context: in-flight warming and searches
+	// stop at their next level barrier and the HTTP server shuts down
+	// gracefully instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *warmFlag != "" {
 		names, err := warmList(*warmFlag)
@@ -87,16 +105,44 @@ func main() {
 			desc = "the paper benchmarks"
 		}
 		log.Printf("iosserve: warming %s at batch sizes %v on %s", desc, batches, spec.Name)
-		if err := srv.Warm(names, batches); err != nil {
+		if err := srv.Warm(ctx, names, batches); err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("iosserve: warming interrupted, exiting")
+				return
+			}
 			fatal(err)
 		}
 	}
 
 	addr := *hostFlag + ":" + strconv.Itoa(*portFlag)
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv,
+		// Request contexts descend from the signal context, so Ctrl-C also
+		// cancels every in-flight search.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	// Shutdown makes ListenAndServe return immediately, so main must wait
+	// for the drain itself (drained channel) or in-flight responses would
+	// be killed when the process exits.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("iosserve: signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("iosserve: shutdown: %v", err)
+		}
+	}()
 	log.Printf("iosserve: serving %s schedules on %s", spec.Name, addr)
-	if err := http.ListenAndServe(addr, srv); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	stop() // unblock the drain goroutine if the listener failed on its own
+	<-drained
+	log.Printf("iosserve: shut down cleanly")
 }
 
 // warmList expands the -warm value ("paper" = the benchmark set).

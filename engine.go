@@ -1,0 +1,295 @@
+package ios
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/profile"
+	"ios/internal/schedule"
+	"ios/internal/serve"
+)
+
+// Progress is one search-progress snapshot, delivered to the callback
+// installed with WithProgress (or passed to OptimizeWithProfilerContext's
+// underlying core.OptimizeWithProgress) at every level barrier of the DP
+// engine. See the core package for field semantics.
+type Progress = core.Progress
+
+// Backend is the measurement substrate schedules are profiled on. The
+// calibrated GPU simulator is the default (NewSimBackend); custom
+// implementations plug a different simulator fidelity — or real
+// hardware — into the same search. See ios/internal/profile.Backend.
+//
+// The SimStream/SimResult/SimKernel aliases make the interface
+// implementable outside this module: a custom backend's Run has
+// signature func([]ios.SimStream) ios.SimResult.
+type Backend = profile.Backend
+
+// SimStream is one stream program: kernels issued back-to-back on a
+// single simulated CUDA stream (alias of the internal simulator type so
+// custom Backends can be written outside this module).
+type SimStream = gpusim.Stream
+
+// SimResult is one simulated multi-stream execution's outcome.
+type SimResult = gpusim.Result
+
+// SimKernel is one kernel launch within a stream program.
+type SimKernel = gpusim.Kernel
+
+// NewSimBackend returns the default measurement backend: a calibrated
+// GPU simulator for the device.
+func NewSimBackend(dev Device) Backend { return profile.SimBackend(dev) }
+
+// Engine is the context-first entry point to IOS: a reusable, concurrency
+// -safe handle configured once (device, workers, measurement backend,
+// optional schedule cache, progress reporting) whose methods all take a
+// context.Context and honor its cancellation and deadline:
+//
+//	eng := ios.NewEngine(ios.V100, ios.WithWorkers(8), ios.WithCache(1024))
+//	res, err := eng.Optimize(ctx, g, ios.Options{})
+//	lat, err := eng.Measure(ctx, g, res.Schedule)
+//
+// A cancelled Optimize drains its worker pool promptly, discards partial
+// results, and returns the wrapped ctx.Err() (errors.Is with
+// context.Canceled / context.DeadlineExceeded holds). Uncancelled runs
+// are bit-identical to the package-level functions they supersede.
+//
+// Methods may be called from multiple goroutines: each call forks its own
+// profiler (sharing the engine's immutable device model), and the
+// optional schedule cache coalesces concurrent Optimize calls for the
+// same (graph, options) key into a single search.
+type Engine struct {
+	backend  Backend
+	workers  int
+	pruning  *Pruning
+	progress func(Progress)
+	cache    *serve.ScheduleCache
+	prof     *Profiler
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the default worker-goroutine count of the per-block DP
+// engine for searches whose Options do not set Workers themselves
+// (n <= 0 restores the GOMAXPROCS default). Like Options.Workers this is
+// a pure execution knob: results are identical at every setting.
+func WithWorkers(n int) EngineOption { return func(e *Engine) { e.workers = n } }
+
+// WithCache gives the engine a schedule cache holding up to capacity
+// optimization results, keyed by (graph fingerprint, batch, device,
+// options fingerprint). Concurrent Optimize calls for the same key
+// coalesce into one search (singleflight), later calls are served from
+// the cache, and a cancelled search never poisons the key. capacity <= 0
+// means unbounded.
+func WithCache(capacity int) EngineOption {
+	return func(e *Engine) { e.cache = serve.NewScheduleCache(capacity) }
+}
+
+// WithProgress installs a progress callback for the engine's searches.
+// The callback is never invoked concurrently and runs on the search's
+// critical path; keep it fast.
+func WithProgress(fn func(Progress)) EngineOption {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithBackend swaps the measurement substrate: schedules are profiled on
+// b instead of a fresh simulator for the device. The backend's
+// Spec().Name should still identify the device for cache keying.
+func WithBackend(b Backend) EngineOption { return func(e *Engine) { e.backend = b } }
+
+// WithPruning sets the engine's default pruning for searches whose
+// Options leave Pruning unset (the per-call value always wins). A zero
+// Pruning argument — including the exported NoPruning value — is taken
+// at its word and normalized to the explicit unbounded spelling
+// (R=-1, S=-1): at this layer the caller has unambiguously asked for no
+// pruning, so the zero value must not fall back to the paper defaults.
+func WithPruning(p Pruning) EngineOption {
+	if p == (Pruning{}) {
+		p = Pruning{R: -1, S: -1}
+	}
+	return func(e *Engine) { e.pruning = &p }
+}
+
+// WithNoPruning makes the exhaustive search the engine's default,
+// resolving the Options footgun where Options{Pruning: NoPruning} is
+// indistinguishable from the zero value (and therefore selects the paper
+// defaults): an engine built with WithNoPruning searches the full
+// schedule space for every call that does not set explicit bounds.
+func WithNoPruning() EngineOption {
+	return func(e *Engine) { e.pruning = &Pruning{R: -1, S: -1} }
+}
+
+// NewEngine returns an Engine for the device, configured by the options.
+func NewEngine(dev Device, opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.backend == nil {
+		e.backend = profile.SimBackend(dev)
+	}
+	e.prof = profile.NewWithBackend(e.backend, profile.Options{})
+	return e
+}
+
+// Device returns the device the engine optimizes for.
+func (e *Engine) Device() Device { return e.backend.Spec() }
+
+// CacheStats reports the schedule cache's traffic counters; the zero
+// value when the engine has no cache (see WithCache).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// newProfiler forks a per-call profiler off the engine's root. Forks
+// share the root's immutable device model but own their measurement
+// caches, so concurrent calls never contend.
+func (e *Engine) newProfiler() *Profiler { return e.prof.Fork() }
+
+// fillDefaults merges the engine-level defaults into per-call options
+// (per-call values always win).
+func (e *Engine) fillDefaults(opts Options) Options {
+	if opts.Workers == 0 && e.workers != 0 {
+		opts.Workers = e.workers
+	}
+	if opts.Pruning == (Pruning{}) && e.pruning != nil {
+		opts.Pruning = *e.pruning
+	}
+	return opts
+}
+
+// Optimize runs the IOS dynamic program on the graph under ctx and
+// returns the best schedule found together with search statistics. With
+// a pre-cancelled context it returns immediately without measuring a
+// single stage; cancelled mid-search, it drains all workers and returns
+// the wrapped ctx.Err(). When the engine has a cache (WithCache),
+// results are cached and concurrent calls for the same key share one
+// search.
+func (e *Engine) Optimize(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	opts = e.fillDefaults(opts)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if e.cache == nil {
+		return core.OptimizeWithProgress(ctx, g, e.newProfiler(), opts, e.progress)
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	key := serve.Key{
+		Model:  "graph:" + fp,
+		Batch:  g.Batch(),
+		Device: e.backend.Spec().Name,
+		Opts:   opts.Fingerprint(),
+	}
+	entry, _, err := e.cache.GetOrCompute(ctx, key, func(ctx context.Context) (*serve.Entry, error) {
+		res, err := core.OptimizeWithProgress(ctx, g, e.newProfiler(), opts, e.progress)
+		if err != nil {
+			return nil, err
+		}
+		return &serve.Entry{
+			Graph:      g,
+			Schedule:   res.Schedule,
+			Stats:      res.Stats,
+			ComputedAt: time.Now(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A cache hit may have been computed for a different — structurally
+	// identical, same fingerprint — graph value; rebind the schedule onto
+	// the caller's graph so Optimize's result always measures against the
+	// graph it was asked about.
+	return &Result{Schedule: rebindSchedule(g, entry.Schedule), Stats: entry.Stats}, nil
+}
+
+// rebindSchedule maps a schedule onto g's own nodes by ID. The cache key
+// includes the graph's content fingerprint, so entries are only ever
+// rebound across structurally identical graphs, where node IDs (and the
+// builder's topological order) coincide.
+func rebindSchedule(g *Graph, s *Schedule) *Schedule {
+	if s.Graph == g {
+		return s
+	}
+	stages := make([]Stage, len(s.Stages))
+	for si, st := range s.Stages {
+		groups := make([][]*Node, len(st.Groups))
+		for gi, grp := range st.Groups {
+			nodes := make([]*Node, len(grp))
+			for ni, n := range grp {
+				nodes[ni] = g.Nodes[n.ID]
+			}
+			groups[gi] = nodes
+		}
+		stages[si] = Stage{Strategy: st.Strategy, Groups: groups}
+	}
+	return &schedule.Schedule{Graph: g, Stages: stages}
+}
+
+// Measure returns the end-to-end latency in seconds of executing the
+// schedule on the engine's device, checking ctx between stages. Unlike
+// the deprecated package-level Measure, a schedule built for a different
+// graph is not silently re-wrapped: every stage must reference nodes of
+// g, or Measure fails with a descriptive error.
+func (e *Engine) Measure(ctx context.Context, g *Graph, s *Schedule) (float64, error) {
+	s, err := adoptSchedule(g, s)
+	if err != nil {
+		return 0, err
+	}
+	prof := e.newProfiler()
+	var total float64
+	for i, st := range s.Stages {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("ios: measure cancelled at stage %d/%d: %w", i+1, len(s.Stages), err)
+		}
+		lat, err := prof.MeasureStage(st)
+		if err != nil {
+			return 0, err
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+// Throughput returns images/second for the schedule at the graph's batch
+// size on the engine's device.
+func (e *Engine) Throughput(ctx context.Context, g *Graph, s *Schedule) (float64, error) {
+	lat, err := e.Measure(ctx, g, s)
+	if err != nil {
+		return 0, err
+	}
+	if lat == 0 {
+		return 0, nil
+	}
+	return float64(g.Batch()) / lat, nil
+}
+
+// adoptSchedule returns a schedule bound to g, verifying — rather than
+// assuming — that the stages reference g's own nodes when the schedule
+// was built against a different Schedule.Graph value.
+func adoptSchedule(g *Graph, s *Schedule) (*Schedule, error) {
+	if s.Graph == g {
+		return s, nil
+	}
+	for si, st := range s.Stages {
+		for _, grp := range st.Groups {
+			for _, n := range grp {
+				if n.ID >= len(g.Nodes) || g.Nodes[n.ID] != n {
+					return nil, fmt.Errorf(
+						"ios: schedule stage %d references node %q of a different graph (schedules are graph-specific; rebuild or reload the schedule for %q)",
+						si+1, n.Name, g.Name)
+				}
+			}
+		}
+	}
+	return &schedule.Schedule{Graph: g, Stages: s.Stages}, nil
+}

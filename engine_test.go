@@ -1,0 +1,289 @@
+package ios_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ios"
+)
+
+// TestEngineMatchesDeprecatedAPI: the Engine must be a pure re-plumbing —
+// schedules, costs, and search statistics identical to the package-level
+// functions it supersedes.
+func TestEngineMatchesDeprecatedAPI(t *testing.T) {
+	ctx := context.Background()
+	for _, build := range []func(int) *ios.Graph{ios.Figure2Block, ios.SqueezeNet} {
+		g := build(1)
+		want, err := ios.Optimize(g, ios.V100, ios.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := ios.NewEngine(ios.V100)
+		got, err := eng.Optimize(ctx, g, ios.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Schedule.String() != want.Schedule.String() {
+			t.Fatalf("%s: schedules differ:\n%s\nvs\n%s", g.Name, got.Schedule, want.Schedule)
+		}
+		if got.Stats.States != want.Stats.States ||
+			got.Stats.Transitions != want.Stats.Transitions ||
+			got.Stats.Measurements != want.Stats.Measurements {
+			t.Fatalf("%s: stats differ: %+v vs %+v", g.Name, got.Stats, want.Stats)
+		}
+
+		wantLat, err := ios.Measure(g, want.Schedule, ios.V100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLat, err := eng.Measure(ctx, g, got.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLat != wantLat {
+			t.Fatalf("%s: latency %g vs %g", g.Name, gotLat, wantLat)
+		}
+		wantThr, err := ios.Throughput(g, want.Schedule, ios.V100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotThr, err := eng.Throughput(ctx, g, got.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotThr != wantThr {
+			t.Fatalf("%s: throughput %g vs %g", g.Name, gotThr, wantThr)
+		}
+	}
+}
+
+// TestEngineCache: with WithCache, repeated Optimize calls for the same
+// (graph, options) share one search and return the cached schedule.
+func TestEngineCache(t *testing.T) {
+	ctx := context.Background()
+	eng := ios.NewEngine(ios.V100, ios.WithCache(8))
+	g := ios.Figure2Block(1)
+	first, err := eng.Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Schedule != second.Schedule {
+		t.Fatal("cached call returned a different schedule value")
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss + 1 hit", st)
+	}
+	// Different options are a different key.
+	if _, err := eng.Optimize(ctx, g, ios.Options{Strategies: ios.ParallelOnly}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 2 {
+		t.Fatalf("cache stats after distinct options = %+v, want 2 misses", st)
+	}
+}
+
+// TestEngineCacheRebindsAcrossEqualGraphs: two separately built,
+// structurally identical graphs share one cache key (content
+// fingerprint); a hit must return a schedule bound to the CALLER's graph
+// so the engine's own Optimize output always passes its own Measure.
+func TestEngineCacheRebindsAcrossEqualGraphs(t *testing.T) {
+	ctx := context.Background()
+	eng := ios.NewEngine(ios.V100, ios.WithCache(8))
+	g1, g2 := ios.Figure2Block(1), ios.Figure2Block(1)
+	if _, err := eng.Optimize(ctx, g1, ios.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.Optimize(ctx, g2, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("structurally identical graph missed the cache: %+v", st)
+	}
+	if res2.Schedule.Graph != g2 {
+		t.Fatal("cache hit returned a schedule bound to the other graph value")
+	}
+	if _, err := eng.Measure(ctx, g2, res2.Schedule); err != nil {
+		t.Fatalf("engine's own Optimize output failed its own Measure: %v", err)
+	}
+}
+
+// TestEngineWithPruningZeroMeansNoPruning: WithPruning(NoPruning) must be
+// taken at its word (normalized to the explicit -1 bounds), not silently
+// fall back to the paper defaults.
+func TestEngineWithPruningZeroMeansNoPruning(t *testing.T) {
+	ctx := context.Background()
+	g := ios.Figure2Block(1)
+	want, err := ios.Optimize(g, ios.V100, ios.Unpruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ios.NewEngine(ios.V100, ios.WithPruning(ios.Pruning{})).Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Transitions != want.Stats.Transitions {
+		t.Fatalf("WithPruning(zero) ran a pruned search: %d transitions, want unpruned %d",
+			got.Stats.Transitions, want.Stats.Transitions)
+	}
+}
+
+// TestEngineMeasureRejectsForeignSchedule: Measure must refuse a schedule
+// whose stages reference another graph's nodes instead of silently
+// re-wrapping it (the old API's behavior, which produced latencies for
+// the wrong network).
+func TestEngineMeasureRejectsForeignSchedule(t *testing.T) {
+	ctx := context.Background()
+	eng := ios.NewEngine(ios.V100)
+	g1 := ios.Figure2Block(1)
+	res, err := eng.Optimize(ctx, g1, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := ios.SqueezeNet(1)
+	if _, err := eng.Measure(ctx, g2, res.Schedule); err == nil ||
+		!strings.Contains(err.Error(), "different graph") {
+		t.Fatalf("foreign schedule: err = %v, want different-graph error", err)
+	}
+	// The deprecated wrapper validates identically.
+	if _, err := ios.Measure(g2, res.Schedule, ios.V100); err == nil {
+		t.Fatal("deprecated Measure silently accepted a foreign schedule")
+	}
+	// A re-wrapped schedule that DOES reference g's nodes stays accepted
+	// (the schedule-recipe reload path).
+	rewrapped := &ios.Schedule{Stages: res.Schedule.Stages}
+	lat, err := eng.Measure(ctx, g1, rewrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Measure(ctx, g1, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != want {
+		t.Fatalf("re-wrapped schedule latency %g, want %g", lat, want)
+	}
+}
+
+// TestEngineCancellation: a pre-cancelled context short-circuits every
+// Engine method.
+func TestEngineCancellation(t *testing.T) {
+	eng := ios.NewEngine(ios.V100)
+	g := ios.Figure2Block(1)
+	res, err := eng.Optimize(context.Background(), g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Optimize(ctx, g, ios.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Optimize err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Measure(ctx, g, res.Schedule); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Measure err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Throughput(ctx, g, res.Schedule); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Throughput err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineWithNoPruning: the engine-level option requests the
+// exhaustive search — equivalent to the explicit Unpruned options value,
+// and distinct from the paper-default search.
+func TestEngineWithNoPruning(t *testing.T) {
+	ctx := context.Background()
+	g := ios.Figure2Block(1)
+	want, err := ios.Optimize(g, ios.V100, ios.Unpruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ios.NewEngine(ios.V100, ios.WithNoPruning()).Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schedule.String() != want.Schedule.String() || got.Stats.Transitions != want.Stats.Transitions {
+		t.Fatalf("WithNoPruning search differs from Unpruned:\n%+v\nvs\n%+v", got.Stats, want.Stats)
+	}
+	// Per-call explicit bounds still win over the engine default.
+	pruned, err := ios.NewEngine(ios.V100, ios.WithNoPruning()).Optimize(ctx, g, ios.Options{Pruning: ios.DefaultPruning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ios.Optimize(g, ios.V100, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Stats.Transitions != def.Stats.Transitions {
+		t.Fatalf("per-call pruning did not override the engine default: %d vs %d transitions",
+			pruned.Stats.Transitions, def.Stats.Transitions)
+	}
+}
+
+// TestEngineProgressAndWorkers: engine-level defaults flow into the
+// search.
+func TestEngineProgressAndWorkers(t *testing.T) {
+	var snaps int
+	eng := ios.NewEngine(ios.V100, ios.WithWorkers(2), ios.WithProgress(func(ios.Progress) { snaps++ }))
+	if _, err := eng.Optimize(context.Background(), ios.Figure2Block(1), ios.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if snaps == 0 {
+		t.Fatal("WithProgress callback never fired")
+	}
+}
+
+// fixedBackend scales every simulated latency by wrapping the default
+// backend — the minimal custom measurement substrate.
+type scaledBackend struct {
+	inner ios.Backend
+	calls *int
+}
+
+func (b scaledBackend) Spec() ios.Device { return b.inner.Spec() }
+func (b scaledBackend) Run(streams []ios.SimStream) ios.SimResult {
+	*b.calls++
+	return b.inner.Run(streams)
+}
+func (b scaledBackend) Fork() ios.Backend {
+	return scaledBackend{inner: b.inner.Fork(), calls: b.calls}
+}
+
+// TestEngineWithBackend: a custom Backend receives every measurement the
+// search performs and produces the same result as the built-in simulator.
+func TestEngineWithBackend(t *testing.T) {
+	ctx := context.Background()
+	g := ios.Figure2Block(1)
+	calls := 0
+	eng := ios.NewEngine(ios.V100, ios.WithBackend(scaledBackend{inner: ios.NewSimBackend(ios.V100), calls: &calls}))
+	got, err := eng.Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("custom backend saw no measurements")
+	}
+	want, err := ios.NewEngine(ios.V100).Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schedule.String() != want.Schedule.String() {
+		t.Fatalf("custom backend changed the schedule:\n%s\nvs\n%s", got.Schedule, want.Schedule)
+	}
+}
+
+// TestGraphBatch pins the Graph.Batch helper.
+func TestGraphBatch(t *testing.T) {
+	if got := ios.InceptionV3(16).Batch(); got != 16 {
+		t.Fatalf("InceptionV3(16).Batch() = %d", got)
+	}
+	if got := ios.NewGraph("empty").Batch(); got != 1 {
+		t.Fatalf("empty graph Batch() = %d, want 1", got)
+	}
+}

@@ -1,11 +1,46 @@
 package ios_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"ios"
 )
+
+// ExampleEngine is the primary API walkthrough: build an Engine for a
+// device with functional options, optimize under a context with a
+// deadline, and measure the result. A cancelled or timed-out context
+// stops the search at its next level barrier; this one completes well
+// within its budget.
+func ExampleEngine() {
+	eng := ios.NewEngine(ios.V100,
+		ios.WithWorkers(2), // DP engine goroutines per block (results identical at any setting)
+		ios.WithCache(64),  // coalesce + reuse searches per (graph, options)
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	g := ios.Figure2Block(1)
+	res, err := eng.Optimize(ctx, g, ios.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat, err := eng.Measure(ctx, g, res.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := eng.Optimize(ctx, g, ios.Options{}) // served from the engine's cache
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d stages, measurable latency: %v\n", res.Schedule.NumStages(), lat > 0)
+	fmt.Printf("second call cached: %v\n", again.Schedule == res.Schedule)
+	// Output:
+	// 3 stages, measurable latency: true
+	// second call cached: true
+}
 
 // ExampleOptimize schedules the paper's Figure 2 block and prints the
 // stage structure IOS discovers (the balanced {a,d} / {b,c} partition).

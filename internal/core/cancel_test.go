@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ios/internal/models"
+)
+
+// TestOptimizeContextPreCancelled: a context that is already dead must be
+// refused before a single stage is measured.
+func TestOptimizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prof := v100Profiler()
+	res, err := OptimizeContext(ctx, models.InceptionE(1), prof, Options{})
+	if res != nil {
+		t.Fatal("pre-cancelled search returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if prof.Measurements != 0 {
+		t.Fatalf("pre-cancelled search performed %d measurements, want 0", prof.Measurements)
+	}
+}
+
+// TestOptimizeContextMidSearchCancel cancels deterministically mid-search
+// (from the first progress callback, i.e. after the engine has provably
+// started) and requires the whole worker pool to drain within a bounded
+// time, returning the wrapped context error and no partial schedule.
+// Run under -race this also proves the drain is free of data races.
+func TestOptimizeContextMidSearchCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired atomic.Bool
+		cancelOnFirstProgress := func(Progress) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}
+		type out struct {
+			res *Result
+			err error
+		}
+		done := make(chan out, 1)
+		go func() {
+			res, err := OptimizeWithProgress(ctx, models.InceptionV3(1), v100Profiler(), Options{Workers: workers}, cancelOnFirstProgress)
+			done <- out{res, err}
+		}()
+		select {
+		case o := <-done:
+			if o.res != nil {
+				t.Fatalf("workers=%d: cancelled search returned a result", workers)
+			}
+			if !errors.Is(o.err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, o.err)
+			}
+			if !strings.Contains(o.err.Error(), "cancelled") {
+				t.Fatalf("workers=%d: err %q does not say the search was cancelled", workers, o.err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: cancelled search did not drain within 30s", workers)
+		}
+		cancel()
+	}
+}
+
+// TestOptimizeContextUncancelledIsBitIdentical: threading a live context
+// through the search must not change anything — schedules, costs, and
+// search statistics all match the context-free API.
+func TestOptimizeContextUncancelledIsBitIdentical(t *testing.T) {
+	g := models.InceptionE(1)
+	want, err := Optimize(g, v100Profiler(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizeContext(context.Background(), g, v100Profiler(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schedule.String() != want.Schedule.String() {
+		t.Fatalf("schedules differ:\n%s\nvs\n%s", got.Schedule, want.Schedule)
+	}
+	if got.Stats.States != want.Stats.States ||
+		got.Stats.Transitions != want.Stats.Transitions ||
+		got.Stats.Measurements != want.Stats.Measurements {
+		t.Fatalf("stats differ: %+v vs %+v", got.Stats, want.Stats)
+	}
+}
+
+// TestOptimizeBlockContextPreCancelled covers the single-block entry
+// point's context check.
+func TestOptimizeBlockContextPreCancelled(t *testing.T) {
+	g := models.Figure2Block(1)
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := OptimizeBlockContext(ctx, blocks[0], v100Profiler(), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressReporting checks the Progress stream: monotonic cumulative
+// counters, sane block/level fields, and final totals that agree with the
+// returned Stats.
+func TestProgressReporting(t *testing.T) {
+	g := models.InceptionE(1)
+	var snaps []Progress
+	res, err := OptimizeWithProgress(context.Background(), g, v100Profiler(), Options{},
+		func(p Progress) { snaps = append(snaps, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	var prev Progress
+	for i, p := range snaps {
+		if p.Block < 1 || p.Block > p.Blocks {
+			t.Fatalf("snapshot %d: block %d of %d", i, p.Block, p.Blocks)
+		}
+		if p.Phase != "discover" && p.Phase != "compute" {
+			t.Fatalf("snapshot %d: unknown phase %q", i, p.Phase)
+		}
+		if p.Level < 1 || p.Level > p.Levels {
+			t.Fatalf("snapshot %d: level %d of %d", i, p.Level, p.Levels)
+		}
+		if p.States < prev.States || p.Transitions < prev.Transitions || p.Measurements < prev.Measurements {
+			t.Fatalf("snapshot %d went backwards: %+v after %+v", i, p, prev)
+		}
+		prev = p
+	}
+	last := snaps[len(snaps)-1]
+	if last.States != res.Stats.States || last.Transitions != res.Stats.Transitions {
+		t.Fatalf("final progress (%d states, %d transitions) disagrees with stats (%d, %d)",
+			last.States, last.Transitions, res.Stats.States, res.Stats.Transitions)
+	}
+	// The up-front lowering pass is excluded from progress, so the final
+	// snapshot can only undercount relative to Stats.Measurements.
+	if last.Measurements > res.Stats.Measurements {
+		t.Fatalf("progress measurements %d exceed stats %d", last.Measurements, res.Stats.Measurements)
+	}
+}
+
+// TestOptionsValidate pins the -1 convention: bounds below -1 and negative
+// block caps are configuration errors, everything else passes.
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{},
+		Unpruned,
+		{Pruning: Pruning{R: 3, S: 8}},
+		{Pruning: Pruning{R: -1}},
+		{MaxBlockOps: 40, Workers: -3},
+	}
+	for _, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	invalid := []Options{
+		{Pruning: Pruning{R: -2}},
+		{Pruning: Pruning{S: -7}},
+		{MaxBlockOps: -1},
+	}
+	for _, o := range invalid {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+	// Optimize validates implicitly.
+	if _, err := Optimize(models.Figure2Block(1), v100Profiler(), Options{Pruning: Pruning{R: -2}}); err == nil {
+		t.Error("Optimize accepted invalid pruning bounds")
+	}
+}

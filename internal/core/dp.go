@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,15 +38,47 @@ type Result struct {
 
 // Optimize runs IOS over the whole graph: partitions it into blocks, finds
 // the optimal schedule for each block with the DP, and concatenates the
-// per-block stage lists.
+// per-block stage lists. It is OptimizeContext with a background context.
 func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), g, prof, opts)
+}
+
+// OptimizeContext is Optimize under a context: the search checks ctx
+// before any measurement and at every level barrier of each block's DP
+// engine, and every engine worker observes cancellation between states —
+// so a cancelled search drains promptly (bounded by one in-flight stage
+// measurement per worker), discards all partial results, and returns
+// ctx.Err() wrapped (errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded hold). An uncancelled run is bit-identical to
+// Optimize: same schedule, costs, and statistics.
+func OptimizeContext(ctx context.Context, g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, error) {
+	return OptimizeWithProgress(ctx, g, prof, opts, nil)
+}
+
+// OptimizeWithProgress is OptimizeContext with a progress callback:
+// progress, when non-nil, receives a Progress snapshot at every level
+// barrier of the DP engine. The callback is never invoked concurrently
+// and runs on the search's critical path, so it should return quickly.
+// Like Options.Workers it is a pure execution knob — it never changes
+// what the search returns. (It is a parameter rather than an Options
+// field so Options stays a comparable struct.)
+func OptimizeWithProgress(ctx context.Context, g *graph.Graph, prof *profile.Profiler, opts Options, progress func(Progress)) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	start := time.Now()
+	// Refuse a dead context before the first simulator invocation: a
+	// pre-cancelled search must not measure a single stage.
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancelled(err)
+	}
 	m0 := prof.Measurements
 	blocks, err := g.Partition(opts.MaxBlockOps)
 	if err != nil {
 		return nil, err
 	}
+	opts.tracker = newProgressTracker(progress, len(blocks))
 	// Lowering and solo durations are pure per node; compute them once on
 	// the root so every per-block fork (and its workers) shares the tables
 	// instead of re-lowering its slice of the graph. The solo simulations
@@ -73,12 +106,22 @@ func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, er
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				outs[i] = blockOut{err: wrapCancelled(err)}
+				return
+			}
 			bp := prof.Fork()
-			stages, bstats, err := OptimizeBlock(b, bp, opts)
+			stages, bstats, err := OptimizeBlockContext(ctx, b, bp, opts)
 			outs[i] = blockOut{stages: stages, stats: bstats, err: err}
 		}(i, b)
 	}
 	wg.Wait()
+	// A cancelled search reports the cancellation, not whichever block
+	// error the goroutine interleaving happened to surface first: partial
+	// results are discarded deterministically.
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancelled(err)
+	}
 	for i, out := range outs {
 		if out.err != nil {
 			return nil, fmt.Errorf("core: block %d: %w", blocks[i].Index, out.err)
@@ -96,6 +139,12 @@ func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, er
 	return &Result{Schedule: sched, Stats: stats}, nil
 }
 
+// wrapCancelled wraps a context error so callers can both errors.Is it
+// and see where the search stopped.
+func wrapCancelled(err error) error {
+	return fmt.Errorf("core: search cancelled: %w", err)
+}
+
 // choice records the last stage of the optimal schedule of a state
 // (Algorithm 1's choice[S]).
 type choice struct {
@@ -109,7 +158,8 @@ type choice struct {
 
 // OptimizeBlock runs the dynamic program on a single block and returns its
 // stage list. Exposed for experiments that study one block (Table 1,
-// Figure 9, Figure 10).
+// Figure 9, Figure 10). It is OptimizeBlockContext with a background
+// context.
 //
 // The search is the level-synchronous bottom-up engine of engine.go,
 // parallel across opts.Workers goroutines; its costs, schedules, and
@@ -117,13 +167,27 @@ type choice struct {
 // (retained in dp_reference.go as the oracle the property tests compare
 // against) for any worker count.
 func OptimizeBlock(b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
+	return OptimizeBlockContext(context.Background(), b, prof, opts)
+}
+
+// OptimizeBlockContext is OptimizeBlock under a context: cancellation is
+// observed at every level barrier and by every engine worker between
+// states, partial results are discarded, and the wrapped ctx.Err() is
+// returned (see OptimizeContext).
+func OptimizeBlockContext(ctx context.Context, b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
 	opts = opts.withDefaults()
 	if b.All().IsEmpty() {
 		return nil, Stats{}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, wrapCancelled(err)
+	}
 	m0 := prof.Measurements
 	e := newEngine(b, prof, opts)
-	stages, stats, err := e.run()
+	stages, stats, err := e.run(ctx)
 	e.close()
 	stats.Measurements = prof.Measurements - m0
 	if err != nil {

@@ -40,6 +40,7 @@ package core
 // statistics all coincide for any worker count.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -280,8 +281,18 @@ type engine struct {
 	// serial marks a one-worker engine: every lock degenerates to
 	// uncontended single-threaded access and is skipped on hot paths.
 	serial bool
-	stop   atomic.Bool // set on first error; drains in-flight levels
-	stats  Stats
+	// stop is set on the first error or on context cancellation (via a
+	// context.AfterFunc registered in run); workers check it between
+	// states, so in-flight levels drain promptly — each worker finishes
+	// at most the state it is on.
+	stop  atomic.Bool
+	stats Stats
+
+	// Progress plumbing: prog aggregates across blocks (nil = no
+	// reporting), prev* hold this engine's last reported cumulative
+	// counters so level barriers emit deltas.
+	prog                            *progressTracker
+	prevStates, prevTrans, prevMeas int
 }
 
 // engineWorker is the per-goroutine state of one pool worker.
@@ -343,7 +354,7 @@ func (w *engineWorker) carve(list []transition) []transition {
 // durations), then each worker forks from it, sharing those immutable
 // tables.
 func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
-	e := &engine{b: b, opts: opts}
+	e := &engine{b: b, opts: opts, prog: opts.tracker}
 	workers := opts.effectiveWorkers()
 	// A block can never keep more workers busy than it has operators, and
 	// Optimize may search GOMAXPROCS blocks concurrently — capping by
@@ -393,14 +404,49 @@ func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
 // counts back into the profiler the engine was built from.
 func (e *engine) close() { e.svc.Close() }
 
-// run executes both passes and reconstructs the block's stage list.
-func (e *engine) run() ([]schedule.Stage, Stats, error) {
-	e.discover()
-	if err := e.compute(); err != nil {
+// run executes both passes and reconstructs the block's stage list. The
+// context is observed through the engine's stop flag — an AfterFunc flips
+// it the moment ctx is cancelled, so every worker drains at its next
+// state boundary — and re-checked at each level barrier, where the
+// wrapped ctx.Err() is returned and all partial DP state is discarded.
+func (e *engine) run(ctx context.Context) ([]schedule.Stage, Stats, error) {
+	unregister := context.AfterFunc(ctx, func() { e.stop.Store(true) })
+	defer unregister()
+	if err := e.discover(ctx); err != nil {
+		return nil, e.stats, err
+	}
+	if err := e.compute(ctx); err != nil {
 		return nil, e.stats, err
 	}
 	stages, err := e.reconstruct()
 	return stages, e.stats, err
+}
+
+// ctxErr returns the wrapped context error if the context is done.
+func (e *engine) ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return wrapCancelled(err)
+	}
+	return nil
+}
+
+// reportLevel emits a progress snapshot at a level barrier: the delta of
+// this engine's cumulative state/transition/measurement counters since
+// the previous barrier, folded into the cross-block tracker. Workers are
+// quiescent at a barrier, so their counters are safe to read.
+func (e *engine) reportLevel(phase string, level int) {
+	if e.prog == nil {
+		return
+	}
+	var s, tr, m int
+	for _, w := range e.workers {
+		s += w.stats.States
+		tr += w.stats.Transitions
+		m += w.prof.Measurements
+	}
+	e.prog.emit(e.b.Index+1, len(e.b.Nodes), phase, level,
+		s-e.prevStates, tr-e.prevTrans, m-e.prevMeas)
+	e.prevStates, e.prevTrans, e.prevMeas = s, tr, m
 }
 
 // runLevel applies fn to every state of one level, fanned out across the
@@ -439,13 +485,17 @@ func (e *engine) runLevel(items []int32, fn func(*engineWorker, int32)) {
 // discover runs pass 1: enumerate reachable states by decreasing
 // cardinality. Workers buffer newly seen remainders; the merge into the
 // global index happens serially at each level barrier, so the map is
-// read-only while a level is in flight.
-func (e *engine) discover() {
+// read-only while a level is in flight. Cancellation is checked at every
+// level barrier (workers additionally drain mid-level via the stop flag).
+func (e *engine) discover(ctx context.Context) error {
 	n := len(e.b.Nodes)
 	e.index = newSetTable(64)
 	e.levels = make([][]int32, n+1)
 	e.addState(e.b.All())
 	for k := n; k >= 1; k-- {
+		if err := e.ctxErr(ctx); err != nil {
+			return err
+		}
 		items := e.levels[k]
 		if len(items) == 0 {
 			continue
@@ -460,9 +510,14 @@ func (e *engine) discover() {
 			}
 			w.children = w.children[:0]
 		}
+		e.reportLevel("discover", k)
+	}
+	if err := e.ctxErr(ctx); err != nil {
+		return err
 	}
 	e.cost = make([]float64, len(e.states))
 	e.last = make([]choice, len(e.states))
+	return nil
 }
 
 // addState registers a state if unseen. Serial (level barrier) only.
@@ -525,18 +580,30 @@ func (e *engine) recordEnding(ending bitset.Set, comps []bitset.Set) int32 {
 }
 
 // compute runs pass 2: evaluate cost[S] level by level, bottom-up.
-func (e *engine) compute() error {
+// Cancellation is checked at every level barrier; a cancelled engine
+// discards its cost/choice tables by never reaching reconstruct.
+func (e *engine) compute(ctx context.Context) error {
 	for k := 1; k < len(e.levels); k++ {
+		if err := e.ctxErr(ctx); err != nil {
+			return err
+		}
 		items := e.levels[k]
 		if len(items) == 0 {
 			continue
 		}
 		e.runLevel(items, (*engineWorker).computeState)
+		// The context check precedes the worker-error check so a search
+		// cancelled mid-measurement reports the cancellation, not
+		// whatever partial state a draining worker happened to record.
+		if err := e.ctxErr(ctx); err != nil {
+			return err
+		}
 		for _, w := range e.workers {
 			if w.err != nil {
 				return w.err
 			}
 		}
+		e.reportLevel("compute", k)
 	}
 	for _, w := range e.workers {
 		e.stats.States += w.stats.States

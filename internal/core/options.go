@@ -79,21 +79,37 @@ func (s *StrategySet) UnmarshalText(text []byte) error {
 // Pruning is the schedule-pruning strategy P of Section 4.3: an ending S'
 // satisfies P iff it has at most S groups and each group has at most R
 // operators. The paper's default is r=3, s=8.
+//
+// Bound convention (the single authoritative statement — everything else
+// refers here): a positive bound limits the dimension; 0 means "unset",
+// which makes the zero-value Pruning select the paper defaults (r=3,
+// s=8); -1 means "explicitly unbounded" in that dimension. The -1
+// spelling exists because Pruning{} and an all-zero "no pruning" request
+// would otherwise be indistinguishable — Options{Pruning: NoPruning} IS
+// the zero value and therefore selects the defaults. Request the
+// exhaustive search with the Unpruned options value (R=-1, S=-1), or
+// ios.WithNoPruning at the Engine layer. Values below -1 are invalid;
+// Options.Validate rejects them.
 type Pruning struct {
-	// R bounds operators per group (0 = unbounded).
+	// R bounds operators per group (see the bound convention above).
 	R int `json:"r,omitempty"`
-	// S bounds groups per stage (0 = unbounded).
+	// S bounds groups per stage (see the bound convention above).
 	S int `json:"s,omitempty"`
 }
 
 // DefaultPruning is the paper's evaluation setting (r = 3, s = 8).
 var DefaultPruning = Pruning{R: 3, S: 8}
 
-// NoPruning explores the full schedule space.
+// NoPruning explores the full schedule space when passed directly to an
+// enumeration (forEachEnding treats non-positive bounds as unbounded).
+// Caution: it is the zero Pruning value, so Options{Pruning: NoPruning}
+// is indistinguishable from unset options and selects the paper defaults
+// instead (see the bound convention on Pruning) — request an exhaustive
+// search through Options with Unpruned or ios.WithNoPruning.
 var NoPruning = Pruning{}
 
-// String renders "r=3,s=8" or "none". Non-positive bounds (0 unset, -1
-// explicitly unbounded) both render as 0.
+// String renders "r=3,s=8" or "none". Non-positive bounds (see the bound
+// convention on Pruning) both render as 0.
 func (p Pruning) String() string {
 	if p.R <= 0 && p.S <= 0 {
 		return "none"
@@ -133,6 +149,13 @@ type Options struct {
 	// statistics at every setting, which is why Fingerprint deliberately
 	// excludes it (cached schedules are shared across worker counts).
 	Workers int `json:"workers,omitempty"`
+
+	// tracker is the shared cross-block progress aggregator, installed by
+	// OptimizeWithProgress so parallel block searches feed one monotonic
+	// counter set. Progress deliberately lives outside the exported
+	// fields (see OptimizeWithProgress): a func field would make Options
+	// non-comparable, a silent API break for code using == or map keys.
+	tracker *progressTracker
 }
 
 // withDefaults fills unset options. It is idempotent: explicit unbounded
@@ -142,13 +165,31 @@ type Options struct {
 // bounds as unbounded.
 func (o Options) withDefaults() Options {
 	if o.Pruning == (Pruning{}) {
-		// Zero-value Options means "paper defaults"; explicit NoPruning
-		// is requested via Options{Pruning: NoPruning} which is the same
-		// zero struct — so we distinguish by convention: callers wanting
-		// no pruning set R and S to -1.
+		// Zero-value Pruning means "paper defaults"; an exhaustive search
+		// is requested with explicit -1 bounds (see the bound convention
+		// on Pruning).
 		o.Pruning = DefaultPruning
 	}
 	return o
+}
+
+// Validate reports whether the options are well-formed: pruning bounds
+// must be positive, 0 (unset), or -1 (explicitly unbounded — see the
+// bound convention on Pruning), and MaxBlockOps must be non-negative.
+// Optimize validates implicitly; call Validate directly to surface
+// configuration errors before starting a search (e.g. when parsing
+// user-supplied requests).
+func (o Options) Validate() error {
+	if o.Pruning.R < -1 {
+		return fmt.Errorf("core: invalid pruning bound R=%d (positive, 0 = paper default, or -1 = explicitly unbounded)", o.Pruning.R)
+	}
+	if o.Pruning.S < -1 {
+		return fmt.Errorf("core: invalid pruning bound S=%d (positive, 0 = paper default, or -1 = explicitly unbounded)", o.Pruning.S)
+	}
+	if o.MaxBlockOps < 0 {
+		return fmt.Errorf("core: invalid MaxBlockOps=%d (0 = bitset limit, positive = cap)", o.MaxBlockOps)
+	}
+	return nil
 }
 
 // Canonical returns the options as Optimize will interpret them: defaults

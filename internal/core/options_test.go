@@ -42,6 +42,8 @@ func TestWithDefaults(t *testing.T) {
 	if u.Pruning.R > 0 || u.Pruning.S > 0 {
 		t.Errorf("unpruned gained bounds: %v", u.Pruning)
 	}
+	// Options is deliberately a comparable struct (progress callbacks are
+	// a parameter of OptimizeWithProgress, not a field), so == works.
 	if again := u.withDefaults(); again != u {
 		t.Errorf("withDefaults is not idempotent: %+v -> %+v", u, again)
 	}

@@ -23,7 +23,10 @@ type Result struct {
 
 // Sim executes stream programs on a device model. A Sim is not safe for
 // concurrent use (it reuses internal scratch buffers across runs); create
-// one per goroutine. Construct with New.
+// one per goroutine. Construct with New. Sim is the reference
+// implementation of the profile.Backend measurement substrate (wrapped by
+// profile.SimBackend); alternative backends plug into the profiler and
+// search without touching this package.
 type Sim struct {
 	spec Spec
 	// RecordTrace enables resident-warp trace collection.

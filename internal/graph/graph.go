@@ -373,6 +373,19 @@ func (g *Graph) ComputeStats() Stats {
 	return st
 }
 
+// Batch returns the graph's input batch size: the N dimension of the
+// first input node, or 1 for a graph without inputs. Schedules are
+// specialized per batch size in IOS (Table 3), so serving layers key on
+// this value.
+func (g *Graph) Batch() int {
+	for _, n := range g.Nodes {
+		if n.Op.Kind == OpInput {
+			return n.Output.N
+		}
+	}
+	return 1
+}
+
 // SchedulableNodes returns the nodes IOS schedules (everything except
 // inputs), in topological order.
 func (g *Graph) SchedulableNodes() []*Node {

@@ -12,13 +12,14 @@ import (
 	"ios/internal/schedule"
 )
 
-// Profiler measures stage and schedule latencies on a simulated device.
-// It memoizes stage measurements (the dynamic program queries the same
-// stage under many states) and can optionally add seeded measurement noise
-// with a median-of-k protocol, mimicking real profiling.
+// Profiler measures stage and schedule latencies on a measurement Backend
+// (by default the calibrated GPU simulator). It memoizes stage
+// measurements (the dynamic program queries the same stage under many
+// states) and can optionally add seeded measurement noise with a
+// median-of-k protocol, mimicking real profiling.
 type Profiler struct {
-	sim  *gpusim.Sim
-	opts Options
+	backend Backend
+	opts    Options
 
 	// Noise is the relative half-width of uniform measurement noise
 	// (0 disables). Repeats > 1 takes the median of that many draws.
@@ -68,8 +69,17 @@ func NewWithOptions(spec gpusim.Spec, opts Options) *Profiler {
 	if opts.LaunchOverheadScale > 0 {
 		spec.KernelLaunch *= opts.LaunchOverheadScale
 	}
+	return NewWithBackend(SimBackend(spec), opts)
+}
+
+// NewWithBackend returns a profiler that measures on the given backend
+// instead of constructing its own simulator. The backend's Spec is taken
+// verbatim (Options.LaunchOverheadScale, which adjusts the spec before a
+// simulator is built, does not apply — fold any such adjustment into the
+// backend itself).
+func NewWithBackend(b Backend, opts Options) *Profiler {
 	return &Profiler{
-		sim:     gpusim.New(spec),
+		backend: b,
 		opts:    opts,
 		cache:   make(map[string]float64),
 		lowered: make(map[int][]gpusim.Kernel),
@@ -78,7 +88,10 @@ func NewWithOptions(spec gpusim.Spec, opts Options) *Profiler {
 }
 
 // Spec returns the device spec being profiled.
-func (p *Profiler) Spec() gpusim.Spec { return p.sim.Spec() }
+func (p *Profiler) Spec() gpusim.Spec { return p.backend.Spec() }
+
+// Backend returns the measurement backend in use.
+func (p *Profiler) Backend() Backend { return p.backend }
 
 // Options returns the lowering options in use.
 func (p *Profiler) Options() Options { return p.opts }
@@ -108,12 +121,18 @@ func (p *Profiler) Fork() *Profiler {
 	p.mu.Lock()
 	p.freezeLocked()
 	base, baseSolo := p.baseLowered, p.baseSolo
+	// Fork the backend under the same lock: concurrent Profiler.Fork
+	// calls are allowed, and serializing Backend.Fork here means backend
+	// implementations only need Fork to be safe against the profiler's
+	// documented discipline (no concurrent Run on the parent), not
+	// against concurrent Fork calls.
+	backend := p.backend.Fork()
 	p.mu.Unlock()
 	f := &Profiler{
-		// Reuse the parent's spec verbatim: it already carries any
-		// LaunchOverheadScale adjustment, which NewWithOptions would
-		// wrongly apply a second time.
-		sim:         gpusim.New(p.sim.Spec()),
+		// The forked backend carries the parent's spec verbatim,
+		// including any LaunchOverheadScale adjustment, which
+		// NewWithOptions would wrongly apply a second time.
+		backend:     backend,
 		opts:        p.opts,
 		cache:       make(map[string]float64),
 		baseLowered: base,
@@ -317,10 +336,10 @@ func (p *Profiler) MeasureStageUncached(st schedule.Stage) (float64, error) {
 
 func (p *Profiler) runOnce(streams []gpusim.Stream) float64 {
 	p.Measurements++
-	spec := p.sim.Spec()
+	spec := p.backend.Spec()
 	lat := spec.StageSync
 	if len(streams) > 0 {
-		res := p.sim.Run(p.applyExtraOverhead(streams))
+		res := p.backend.Run(p.applyExtraOverhead(streams))
 		lat += res.Latency
 	}
 	return lat
@@ -343,7 +362,7 @@ func (p *Profiler) applyExtraOverhead(streams []gpusim.Stream) []gpusim.Stream {
 			// wasteful; instead extend Bytes by overhead*bandwidth so
 			// the duration grows by exactly the overhead while staying
 			// on this stream.
-			k.Bytes += p.opts.ExtraLaunchOverhead * p.sim.Spec().MemBandwidth
+			k.Bytes += p.opts.ExtraLaunchOverhead * p.backend.Spec().MemBandwidth
 			ns = append(ns, k)
 		}
 		out[i] = ns
@@ -358,7 +377,7 @@ func (p *Profiler) applyExtraOverhead(streams []gpusim.Stream) []gpusim.Stream {
 // durations, which are cached; this makes the scheduler's serial-tail
 // candidate O(|S|) per state instead of a fresh multi-kernel simulation.
 func (p *Profiler) MeasureSerialChain(nodes []*graph.Node) float64 {
-	total := p.sim.Spec().StageSync
+	total := p.backend.Spec().StageSync
 	for _, n := range nodes {
 		total += p.SoloDuration(n)
 	}
@@ -396,7 +415,7 @@ func (p *Profiler) SoloDuration(n *graph.Node) float64 {
 	if len(kernels) > 0 {
 		streams := p.applyExtraOverhead([]gpusim.Stream{gpusim.Stream(kernels)})
 		p.Measurements++
-		d = p.sim.Run(streams).Latency
+		d = p.backend.Run(streams).Latency
 	}
 	p.solo[n.ID] = d
 	return d
@@ -417,8 +436,10 @@ func (p *Profiler) MeasureSchedule(s *schedule.Schedule) (float64, error) {
 
 // TraceSchedule executes the schedule once with warp-trace recording and
 // returns the end-to-end latency and the concatenated trace (Figure 8).
+// Trace recording is a simulator feature: the schedule runs on a fresh
+// simulator for the profiled spec regardless of the configured Backend.
 func (p *Profiler) TraceSchedule(s *schedule.Schedule) (float64, *gpusim.WarpTrace, error) {
-	sim := gpusim.New(p.sim.Spec())
+	sim := gpusim.New(p.backend.Spec())
 	sim.RecordTrace = true
 	full := &gpusim.WarpTrace{}
 	var total float64
@@ -442,8 +463,10 @@ func (p *Profiler) TraceSchedule(s *schedule.Schedule) (float64, *gpusim.WarpTra
 // TimelineSchedule executes the schedule once with kernel-span recording
 // and returns the end-to-end latency plus the concatenated timeline
 // (stages shifted by their start offsets, stream ids local to each stage).
+// Like TraceSchedule, this always runs on a fresh simulator for the
+// profiled spec (span recording is a simulator feature).
 func (p *Profiler) TimelineSchedule(s *schedule.Schedule) (float64, gpusim.Timeline, error) {
-	sim := gpusim.New(p.sim.Spec())
+	sim := gpusim.New(p.backend.Spec())
 	sim.RecordTimeline = true
 	var full gpusim.Timeline
 	var total float64
@@ -492,7 +515,7 @@ func (p *Profiler) ProfileStage(st schedule.Stage) (StageProfile, error) {
 	prof := StageProfile{Latency: lat, GFLOPs: flops / 1e9}
 	if lat > 0 {
 		prof.TFLOPSs = flops / lat / 1e12
-		prof.Utilization = flops / lat / p.sim.Spec().PeakFLOPs
+		prof.Utilization = flops / lat / p.backend.Spec().PeakFLOPs
 	}
 	return prof, nil
 }

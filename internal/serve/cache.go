@@ -5,10 +5,15 @@
 // a schedule is found once per (model, batch size, device) and then reused
 // across millions of inferences, so a serving tier needs exactly one
 // optimization run per distinct configuration no matter how many requests
-// race for it, and a bounded memory of recipes after that.
+// race for it, and a bounded memory of recipes after that. The layer is
+// context-aware end to end: requests carry their HTTP context (plus an
+// optional server-side deadline), and an in-flight optimization is
+// cancelled once every request coalesced onto it has gone away.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -83,6 +88,10 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	// Errors counts failed computations (failures are not cached).
 	Errors int64 `json:"errors"`
+	// Cancelled counts computations aborted by context cancellation or
+	// deadline expiry — a run is cancelled once every requester that was
+	// waiting on it has gone away. Cancelled runs are a subset of Errors.
+	Cancelled int64 `json:"cancelled"`
 }
 
 // slot is one cache cell. A slot is published to the map before its
@@ -92,6 +101,14 @@ type slot struct {
 	entry    *Entry
 	err      error
 	lastUsed int64 // LRU clock value, guarded by the cache mutex
+	// interest counts requesters (the computing owner plus coalesced
+	// waiters) whose contexts are still live; guarded by the cache
+	// mutex. When it reaches zero before the computation completes, the
+	// run's context is cancelled — nobody is left to receive the result,
+	// so burning more CPU on it only delays other requests.
+	interest int
+	// cancelRun cancels the in-flight computation's context.
+	cancelRun context.CancelFunc
 }
 
 // ScheduleCache is a concurrent schedule cache with request coalescing:
@@ -101,15 +118,16 @@ type slot struct {
 // LRU policy up to the configured capacity. The zero value is not usable;
 // call NewScheduleCache.
 type ScheduleCache struct {
-	mu      sync.Mutex
-	cap     int
-	slots   map[Key]*slot
-	clock   int64
-	hits    int64
-	misses  int64
-	coal    int64
-	evicted int64
-	errs    int64
+	mu        sync.Mutex
+	cap       int
+	slots     map[Key]*slot
+	clock     int64
+	hits      int64
+	misses    int64
+	coal      int64
+	evicted   int64
+	errs      int64
+	cancelled int64
 }
 
 // NewScheduleCache returns a cache holding up to capacity completed
@@ -128,9 +146,24 @@ func NewScheduleCache(capacity int) *ScheduleCache {
 // reports whether this caller avoided running compute itself. A compute
 // error is returned to every waiting caller but is not cached, so the next
 // request retries.
-func (c *ScheduleCache) GetOrCompute(key Key, compute func() (*Entry, error)) (e *Entry, cached bool, err error) {
+//
+// Cancellation semantics: compute receives a context that stays live as
+// long as ANY requester coalesced onto the run still wants the result,
+// and is cancelled once every such requester's own context is done — a
+// popular in-flight optimization is never killed by one impatient client,
+// while a run nobody is waiting for stops burning CPU. A waiter whose
+// context is cancelled unblocks immediately with its ctx.Err(); a waiter
+// that observes the run die of some OTHER requester's cancellation
+// retries the key (becoming the new owner) instead of failing spuriously.
+// Cancelled runs are counted in Stats().Cancelled, are not cached, and
+// free their slot — a retry for the same key always starts fresh.
+func (c *ScheduleCache) GetOrCompute(ctx context.Context, key Key, compute func(ctx context.Context) (*Entry, error)) (e *Entry, cached bool, err error) {
 	c.mu.Lock()
 	for {
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, false, err
+		}
 		s, ok := c.slots[key]
 		if !ok {
 			break
@@ -150,19 +183,42 @@ func (c *ScheduleCache) GetOrCompute(key Key, compute func() (*Entry, error)) (e
 			c.mu.Unlock()
 			return s.entry, true, nil
 		default:
-			// In flight: coalesce onto the running computation.
+			// In flight: coalesce onto the running computation,
+			// registering our interest so the run outlives any single
+			// requester's disconnect but not all of them.
 			c.coal++
+			s.interest++
 			c.mu.Unlock()
-			<-s.done
-			return s.entry, true, s.err
+			stop := context.AfterFunc(ctx, func() { c.release(s) })
+			select {
+			case <-s.done:
+				stop()
+				if s.err != nil && isCancelErr(s.err) && ctx.Err() == nil {
+					// The run died of someone else's cancellation while
+					// we still want the result: retry the key.
+					c.mu.Lock()
+					continue
+				}
+				return s.entry, true, s.err
+			case <-ctx.Done():
+				// Our interest unit is released by the AfterFunc.
+				return nil, false, ctx.Err()
+			}
 		}
 	}
-	s := &slot{done: make(chan struct{})}
+	s := &slot{done: make(chan struct{}), interest: 1}
 	c.misses++
 	c.clock++
 	s.lastUsed = c.clock
+	// The run's context is detached from the owner's (so an owner
+	// disconnect does not kill a run other requesters coalesced onto)
+	// and cancelled by release once the last interested requester is
+	// gone.
+	runCtx, cancelRun := context.WithCancel(context.WithoutCancel(ctx))
+	s.cancelRun = cancelRun
 	c.slots[key] = s
 	c.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { c.release(s) })
 
 	// A compute panic must not leave the slot's done channel open:
 	// coalesced waiters block on it forever and — since the slot would
@@ -179,12 +235,17 @@ func (c *ScheduleCache) GetOrCompute(key Key, compute func() (*Entry, error)) (e
 			}
 			close(s.done)
 		}()
-		s.entry, s.err = compute()
+		s.entry, s.err = compute(runCtx)
 	}()
+	stop()
+	cancelRun() // the run is over; free the context's resources
 
 	c.mu.Lock()
 	if s.err != nil {
 		c.errs++
+		if isCancelErr(s.err) {
+			c.cancelled++
+		}
 		// Delete only our own slot: between close(done) and here, a new
 		// caller may have observed the failure, removed this slot, and
 		// installed a fresh in-flight one — which must not be torn down.
@@ -196,6 +257,23 @@ func (c *ScheduleCache) GetOrCompute(key Key, compute func() (*Entry, error)) (e
 	}
 	c.mu.Unlock()
 	return s.entry, false, s.err
+}
+
+// release drops one requester's interest in an in-flight slot; the last
+// release cancels the run. Runs from context.AfterFunc goroutines.
+func (c *ScheduleCache) release(s *slot) {
+	c.mu.Lock()
+	s.interest--
+	if s.interest == 0 && s.cancelRun != nil {
+		s.cancelRun()
+	}
+	c.mu.Unlock()
+}
+
+// isCancelErr reports whether an error chain ends in a context
+// cancellation or deadline expiry.
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Peek returns the completed entry for key without computing, and without
@@ -263,6 +341,7 @@ func (c *ScheduleCache) Stats() CacheStats {
 		Coalesced: c.coal,
 		Evictions: c.evicted,
 		Errors:    c.errs,
+		Cancelled: c.cancelled,
 	}
 }
 

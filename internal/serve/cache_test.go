@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -22,15 +23,15 @@ func testKey(model string, batch int) Key {
 func TestCacheHitMiss(t *testing.T) {
 	c := NewScheduleCache(8)
 	calls := 0
-	compute := func() (*Entry, error) { calls++; return &Entry{}, nil }
+	compute := func(context.Context) (*Entry, error) { calls++; return &Entry{}, nil }
 
-	if _, cached, err := c.GetOrCompute(testKey("a", 1), compute); err != nil || cached {
+	if _, cached, err := c.GetOrCompute(context.Background(), testKey("a", 1), compute); err != nil || cached {
 		t.Fatalf("first get: cached=%v err=%v, want miss", cached, err)
 	}
-	if _, cached, err := c.GetOrCompute(testKey("a", 1), compute); err != nil || !cached {
+	if _, cached, err := c.GetOrCompute(context.Background(), testKey("a", 1), compute); err != nil || !cached {
 		t.Fatalf("second get: cached=%v err=%v, want hit", cached, err)
 	}
-	if _, cached, _ := c.GetOrCompute(testKey("a", 2), compute); cached {
+	if _, cached, _ := c.GetOrCompute(context.Background(), testKey("a", 2), compute); cached {
 		t.Fatal("different batch should miss")
 	}
 	if calls != 2 {
@@ -55,7 +56,7 @@ func TestCacheDeduplicatesConcurrentRequests(t *testing.T) {
 	key := testKey("fig2", 1)
 
 	var computeCalls, totalMeasurements atomic.Int64
-	compute := func() (*Entry, error) {
+	compute := func(context.Context) (*Entry, error) {
 		computeCalls.Add(1)
 		g := models.Figure2Block(1)
 		prof := profile.New(gpusim.TeslaV100)
@@ -76,7 +77,7 @@ func TestCacheDeduplicatesConcurrentRequests(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			e, _, err := c.GetOrCompute(key, compute)
+			e, _, err := c.GetOrCompute(context.Background(), key, compute)
 			if err != nil {
 				t.Errorf("goroutine %d: %v", i, err)
 				return
@@ -115,10 +116,10 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := NewScheduleCache(8)
 	boom := errors.New("boom")
 	calls := 0
-	if _, _, err := c.GetOrCompute(testKey("a", 1), func() (*Entry, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.GetOrCompute(context.Background(), testKey("a", 1), func(context.Context) (*Entry, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	if _, cached, err := c.GetOrCompute(testKey("a", 1), func() (*Entry, error) { calls++; return &Entry{}, nil }); err != nil || cached {
+	if _, cached, err := c.GetOrCompute(context.Background(), testKey("a", 1), func(context.Context) (*Entry, error) { calls++; return &Entry{}, nil }); err != nil || cached {
 		t.Fatalf("retry after error: cached=%v err=%v, want fresh compute", cached, err)
 	}
 	if calls != 2 {
@@ -134,7 +135,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := NewScheduleCache(2)
 	get := func(model string) {
 		t.Helper()
-		if _, _, err := c.GetOrCompute(testKey(model, 1), func() (*Entry, error) { return &Entry{}, nil }); err != nil {
+		if _, _, err := c.GetOrCompute(context.Background(), testKey(model, 1), func(context.Context) (*Entry, error) { return &Entry{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func TestCachePurgeAndKeys(t *testing.T) {
 	c := NewScheduleCache(0)
 	for i := 0; i < 5; i++ {
 		model := fmt.Sprintf("m%d", i)
-		c.GetOrCompute(testKey(model, 1), func() (*Entry, error) { return &Entry{}, nil })
+		c.GetOrCompute(context.Background(), testKey(model, 1), func(context.Context) (*Entry, error) { return &Entry{}, nil })
 	}
 	if len(c.Keys()) != 5 {
 		t.Fatalf("keys = %d, want 5 (capacity 0 = unbounded)", len(c.Keys()))
@@ -195,7 +196,7 @@ func TestCachePanicInComputeDoesNotPoisonKey(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, _, panicErr = c.GetOrCompute(key, func() (*Entry, error) {
+		_, _, panicErr = c.GetOrCompute(context.Background(), key, func(context.Context) (*Entry, error) {
 			close(started)
 			<-release
 			panic("boom")
@@ -204,7 +205,7 @@ func TestCachePanicInComputeDoesNotPoisonKey(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-started // the slot is registered and compute is in flight
-		_, _, waiterErr = c.GetOrCompute(key, func() (*Entry, error) {
+		_, _, waiterErr = c.GetOrCompute(context.Background(), key, func(context.Context) (*Entry, error) {
 			t.Error("waiter ran its own compute while one was in flight")
 			return &Entry{}, nil
 		})
@@ -225,7 +226,7 @@ func TestCachePanicInComputeDoesNotPoisonKey(t *testing.T) {
 		}
 	}
 	// The key is retryable, not poisoned.
-	if _, cached, err := c.GetOrCompute(key, func() (*Entry, error) { return &Entry{}, nil }); err != nil || cached {
+	if _, cached, err := c.GetOrCompute(context.Background(), key, func(context.Context) (*Entry, error) { return &Entry{}, nil }); err != nil || cached {
 		t.Fatalf("retry after panic: cached=%v err=%v", cached, err)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,13 @@ type Config struct {
 	// NewScheduleCache(DefaultCacheSize). Sharing one cache between
 	// servers shares their schedules.
 	Cache *ScheduleCache
+	// Deadline, when positive, bounds each request's server-side
+	// processing time: the request context gets this timeout, an
+	// optimization that outlives it is cancelled (unless other live
+	// requests coalesced onto the same search), and the requester
+	// receives 503 + a JSON error. Zero means no server-side deadline —
+	// requests are still cancelled when their client disconnects.
+	Deadline time.Duration
 	// Logf, when set, receives one line per served request.
 	Logf func(format string, args ...any)
 }
@@ -58,10 +66,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	optimizeReqs int64
-	measureReqs  int64
-	modelsReqs   int64
-	statsReqs    int64
+	optimizeReqs  int64
+	measureReqs   int64
+	modelsReqs    int64
+	statsReqs     int64
+	cancelledReqs int64
 
 	zooOnce sync.Once
 	zooInfo []ModelInfo
@@ -220,6 +229,9 @@ func (s *Server) resolve(model string, rawGraph json.RawMessage, batch int, devi
 		opts.Pruning.S = sBound
 	}
 	opts = opts.Canonical()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 
 	res := &resolved{spec: spec, opts: opts}
 	if model != "" {
@@ -252,7 +264,7 @@ func (s *Server) resolve(model string, rawGraph json.RawMessage, batch int, devi
 	if err != nil {
 		return nil, err
 	}
-	res.batch = graphBatch(g)
+	res.batch = g.Batch()
 	if batch != 0 && batch != res.batch {
 		return nil, fmt.Errorf("batch %d conflicts with the submitted graph's input batch %d (the graph's shapes win; omit \"batch\")", batch, res.batch)
 	}
@@ -261,25 +273,17 @@ func (s *Server) resolve(model string, rawGraph json.RawMessage, batch int, devi
 	return res, nil
 }
 
-// graphBatch returns the batch size of the graph's first input node.
-func graphBatch(g *graph.Graph) int {
-	for _, n := range g.Nodes {
-		if n.Op.Kind == graph.OpInput {
-			return n.Output.N
-		}
-	}
-	return 1
-}
-
-// entry runs the cached optimization for a resolved request.
-func (s *Server) entry(res *resolved) (*Entry, bool, error) {
-	return s.cache.GetOrCompute(res.key, func() (*Entry, error) {
+// entry runs the cached optimization for a resolved request under the
+// request's context: the search is cancelled (and its singleflight slot
+// freed for retries) once every request interested in this key is gone.
+func (s *Server) entry(ctx context.Context, res *resolved) (*Entry, bool, error) {
+	return s.cache.GetOrCompute(ctx, res.key, func(ctx context.Context) (*Entry, error) {
 		g, err := res.build()
 		if err != nil {
 			return nil, err
 		}
 		prof := profile.New(res.spec)
-		out, err := core.Optimize(g, prof, res.opts)
+		out, err := core.OptimizeContext(ctx, g, prof, res.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +319,9 @@ func (s *Server) entry(res *resolved) (*Entry, bool, error) {
 // Warm precomputes schedules for the named zoo models (nil = the paper's
 // four benchmarks) at the given batch sizes (nil = batch 1) on the
 // server's default device, so the first user request hits a warm cache.
-func (s *Server) Warm(names []string, batches []int) error {
+// Cancelling ctx aborts the remaining precomputations (e.g. on SIGINT
+// during daemon start-up).
+func (s *Server) Warm(ctx context.Context, names []string, batches []int) error {
 	if names == nil {
 		names = []string{"inception", "randwire", "nasnet", "squeezenet"}
 	}
@@ -328,7 +334,7 @@ func (s *Server) Warm(names []string, batches []int) error {
 			if err != nil {
 				return fmt.Errorf("serve: warm %s: %w", name, err)
 			}
-			if _, _, err := s.entry(res); err != nil {
+			if _, _, err := s.entry(ctx, res); err != nil {
 				return fmt.Errorf("serve: warm %s/b%d: %w", name, b, err)
 			}
 			s.logf("warm %s", res.key)
@@ -341,6 +347,8 @@ func (s *Server) Warm(names []string, batches []int) error {
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	atomic.AddInt64(&s.optimizeReqs, 1)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var req OptimizeRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -350,9 +358,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	e, cached, err := s.entry(res)
+	e, cached, err := s.entry(ctx, res)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.failCompute(w, ctx, err)
 		return
 	}
 	// Entries computed by this server carry the serialized schedule and
@@ -392,6 +400,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	atomic.AddInt64(&s.measureReqs, 1)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	var req MeasureRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -428,9 +438,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		}
 		source = "schedule"
 	case req.Baseline == "" || req.Baseline == "ios":
-		e, hit, err := s.entry(res)
+		e, hit, err := s.entry(ctx, res)
 		if err != nil {
-			s.fail(w, http.StatusInternalServerError, err)
+			s.failCompute(w, ctx, err)
 			return
 		}
 		// The entry already carries this schedule's measured latency;
@@ -523,16 +533,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Options: s.cfg.Options.Fingerprint(),
 		UptimeS: time.Since(s.start).Seconds(),
 		Requests: map[string]int64{
-			"optimize": atomic.LoadInt64(&s.optimizeReqs),
-			"measure":  atomic.LoadInt64(&s.measureReqs),
-			"models":   atomic.LoadInt64(&s.modelsReqs),
-			"stats":    atomic.LoadInt64(&s.statsReqs),
+			"optimize":  atomic.LoadInt64(&s.optimizeReqs),
+			"measure":   atomic.LoadInt64(&s.measureReqs),
+			"models":    atomic.LoadInt64(&s.modelsReqs),
+			"stats":     atomic.LoadInt64(&s.statsReqs),
+			"cancelled": atomic.LoadInt64(&s.cancelledReqs),
 		},
 		Cache: s.cache.Stats(),
 	})
 }
 
 // plumbing --------------------------------------------------------------
+
+// requestContext derives the per-request work context: the HTTP request's
+// context (cancelled when the client disconnects) bounded by the
+// configured server-side deadline, if any.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.cfg.Deadline > 0 {
+		return context.WithTimeout(ctx, s.cfg.Deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// failCompute maps an optimization failure to a response: cancellations
+// and deadline expiries — whether surfaced through the search or through
+// the request context itself — are 503 Service Unavailable (the request
+// was shed, not wrong) and are counted in /stats; everything else is a
+// 500.
+func (s *Server) failCompute(w http.ResponseWriter, ctx context.Context, err error) {
+	if isCancelErr(err) || ctx.Err() != nil {
+		atomic.AddInt64(&s.cancelledReqs, 1)
+		// Prefer the request context's own error: a deadline expiry reads
+		// better as "deadline exceeded" than as the search's generic
+		// cancellation.
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("request cancelled: %w", cerr)
+		}
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, err)
+}
 
 // ratio divides, reporting 0 for a zero denominator: degenerate graphs
 // (e.g. input-only) measure a latency of 0, and NaN/Inf are not

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -270,7 +271,7 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestWarm(t *testing.T) {
 	s := NewServer(Config{})
-	if err := s.Warm([]string{"fig2", "squeezenet"}, []int{1, 4}); err != nil {
+	if err := s.Warm(context.Background(), []string{"fig2", "squeezenet"}, []int{1, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Cache().Len(); got != 4 {

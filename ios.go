@@ -21,13 +21,22 @@
 // Quick start:
 //
 //	g := ios.InceptionV3(1)                       // batch size 1
-//	res, err := ios.Optimize(g, ios.V100, ios.Options{})
+//	eng := ios.NewEngine(ios.V100)
+//	res, err := eng.Optimize(ctx, g, ios.Options{})
 //	if err != nil { ... }
-//	lat, _ := ios.Measure(g, res.Schedule, ios.V100)
+//	lat, _ := eng.Measure(ctx, g, res.Schedule)
 //	fmt.Printf("latency %.3f ms over %d stages\n", lat*1e3, res.Schedule.NumStages())
+//
+// The Engine is the primary API: construct one per device with NewEngine
+// and functional options (WithWorkers, WithCache, WithProgress,
+// WithBackend, WithNoPruning), then call its context-aware methods. The
+// package-level Optimize/Measure/Throughput functions predate the Engine
+// and remain as deprecated wrappers over a fresh default Engine.
 package ios
 
 import (
+	"context"
+
 	"ios/internal/baseline"
 	"ios/internal/core"
 	"ios/internal/gpusim"
@@ -109,14 +118,30 @@ func NewProfiler(dev Device) *Profiler { return profile.New(dev) }
 
 // Optimize runs the IOS dynamic program on the graph for the given device
 // and returns the best schedule found together with search statistics.
+//
+// Deprecated: use NewEngine(dev).Optimize(ctx, g, opts), which is
+// cancellable and deadline-aware. This wrapper runs the identical search
+// under context.Background(). One behavioral difference from earlier
+// releases: options now pass Options.Validate, so pruning bounds below
+// -1 (previously treated as unbounded by accident) are rejected with an
+// error.
 func Optimize(g *Graph, dev Device, opts Options) (*Result, error) {
-	return core.Optimize(g, profile.New(dev), opts)
+	return NewEngine(dev).Optimize(context.Background(), g, opts)
 }
 
 // OptimizeWithProfiler is Optimize with a caller-provided (possibly
 // shared or noise-configured) profiler.
+//
+// Deprecated: use OptimizeWithProfilerContext, or an Engine with
+// WithBackend for custom measurement substrates.
 func OptimizeWithProfiler(g *Graph, prof *Profiler, opts Options) (*Result, error) {
 	return core.Optimize(g, prof, opts)
+}
+
+// OptimizeWithProfilerContext runs the search on a caller-provided
+// (possibly shared or noise-configured) profiler under a context.
+func OptimizeWithProfilerContext(ctx context.Context, g *Graph, prof *Profiler, opts Options) (*Result, error) {
+	return core.OptimizeContext(ctx, g, prof, opts)
 }
 
 // SequentialSchedule returns the paper's sequential baseline: operators
@@ -128,27 +153,21 @@ func SequentialSchedule(g *Graph) (*Schedule, error) { return baseline.Sequentia
 func GreedySchedule(g *Graph) (*Schedule, error) { return baseline.Greedy(g) }
 
 // Measure returns the end-to-end latency in seconds of executing the
-// schedule on the device.
+// schedule on the device. Like Engine.Measure it validates that the
+// schedule's stages reference nodes of g rather than silently re-wrapping
+// a schedule built for a different graph.
+//
+// Deprecated: use NewEngine(dev).Measure(ctx, g, s), which is
+// cancellable.
 func Measure(g *Graph, s *Schedule, dev Device) (float64, error) {
-	if s.Graph != g {
-		s = &schedule.Schedule{Graph: g, Stages: s.Stages}
-	}
-	return profile.New(dev).MeasureSchedule(s)
+	return NewEngine(dev).Measure(context.Background(), g, s)
 }
 
 // Throughput returns images/second for the schedule at the graph's batch
 // size on the device.
+//
+// Deprecated: use NewEngine(dev).Throughput(ctx, g, s), which is
+// cancellable.
 func Throughput(g *Graph, s *Schedule, dev Device) (float64, error) {
-	lat, err := Measure(g, s, dev)
-	if err != nil {
-		return 0, err
-	}
-	batch := 1
-	for _, n := range g.Nodes {
-		if n.Op.Kind == graph.OpInput {
-			batch = n.Output.N
-			break
-		}
-	}
-	return float64(batch) / lat, nil
+	return NewEngine(dev).Throughput(context.Background(), g, s)
 }

@@ -1,6 +1,7 @@
 package ios_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -49,10 +50,10 @@ func ExampleScheduleCache() {
 	key := ios.CacheKey{Model: "fig2", Batch: 1, Device: "Tesla V100", Opts: ios.Options{}.Fingerprint()}
 
 	runs := 0
-	optimize := func() (*ios.CacheEntry, error) {
+	optimize := func(ctx context.Context) (*ios.CacheEntry, error) {
 		runs++
 		g := ios.Figure2Block(1)
-		res, err := ios.Optimize(g, ios.V100, ios.Options{})
+		res, err := ios.NewEngine(ios.V100).Optimize(ctx, g, ios.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +61,7 @@ func ExampleScheduleCache() {
 	}
 
 	for i := 0; i < 3; i++ {
-		entry, cached, err := cache.GetOrCompute(key, optimize)
+		entry, cached, err := cache.GetOrCompute(context.Background(), key, optimize)
 		if err != nil {
 			log.Fatal(err)
 		}
