@@ -188,6 +188,43 @@ func BenchmarkOptimizeNasNet(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeInceptionV3Warm measures a full IOS search with the
+// structural measurement cache already warm (the serving tier's repeated
+// -model case, and the iosopt/iosserve warm-restart case): every
+// simulator invocation is a cache hit, so this isolates the engine's
+// non-measurement cost.
+func BenchmarkOptimizeInceptionV3Warm(b *testing.B) {
+	g := ios.InceptionV3(1)
+	cache := ios.NewMeasureCache()
+	eng := ios.NewEngine(ios.V100, ios.WithMeasureCache(cache))
+	if _, err := eng.Optimize(context.Background(), g, ios.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Optimize(context.Background(), g, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeInceptionV3Cold measures a full IOS search that fills
+// a fresh measurement cache (the first-request cost when the cache is
+// enabled): intra-network structural dedup applies, cross-call reuse does
+// not.
+func BenchmarkOptimizeInceptionV3Cold(b *testing.B) {
+	g := ios.InceptionV3(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := ios.NewEngine(ios.V100, ios.WithMeasureCache(ios.NewMeasureCache()))
+		if _, err := eng.Optimize(context.Background(), g, ios.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMeasureSchedule measures the simulator cost of one end-to-end
 // schedule measurement (the unit of the paper's profiling step).
 func BenchmarkMeasureSchedule(b *testing.B) {

@@ -54,16 +54,53 @@ func writeSearchJSON(cfg expt.Config, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// measureBaseline is the BENCH_measure.json schema: environment plus the
+// uncached/cold/warm measurement-cache rows.
+type measureBaseline struct {
+	Device     string            `json:"device"`
+	Batch      int               `json:"batch"`
+	Quick      bool              `json:"quick"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Rows       []expt.MeasureRow `json:"rows"`
+}
+
+// writeMeasureJSON runs the measurement-cache comparison (experiment
+// "measure-cache") and writes the baseline file future PRs diff against.
+func writeMeasureJSON(cfg expt.Config, path string) error {
+	rows, err := expt.MeasureCacheRows(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			return fmt.Errorf("cached %s search diverged from the uncached oracle (fingerprint soundness bug)", r.Network)
+		}
+	}
+	out := measureBaseline{
+		Device:     cfg.Device.Name,
+		Batch:      cfg.Batch,
+		Quick:      cfg.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		deviceFlag = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
-		batchFlag  = flag.Int("batch", 1, "batch size where applicable")
-		quickFlag  = flag.Bool("quick", false, "use reduced models for a fast smoke run")
-		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
-		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
-		sFlag      = flag.Int("s", 8, "pruning: max groups per stage")
-		searchJSON = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
+		expFlag     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		deviceFlag  = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
+		batchFlag   = flag.Int("batch", 1, "batch size where applicable")
+		quickFlag   = flag.Bool("quick", false, "use reduced models for a fast smoke run")
+		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+		rFlag       = flag.Int("r", 3, "pruning: max operators per group")
+		sFlag       = flag.Int("s", 8, "pruning: max groups per stage")
+		searchJSON  = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
+		measureJSON = flag.String("measure-json", "", "write the measurement-cache rows (experiment \"measure-cache\": hits, misses, measurements saved) as JSON to this file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -93,6 +130,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote search-cost baseline to %s\n", *searchJSON)
+		return
+	}
+	if *measureJSON != "" {
+		if err := writeMeasureJSON(cfg, *measureJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -measure-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote measurement-cache baseline to %s\n", *measureJSON)
 		return
 	}
 

@@ -23,6 +23,7 @@ import (
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/graph"
+	"ios/internal/measure"
 	"ios/internal/models"
 	"ios/internal/profile"
 )
@@ -40,6 +41,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block (0 = GOMAXPROCS); results are identical at every setting")
 		progress   = flag.Bool("progress", false, "report search progress (states/transitions/measurements, current level) on stderr")
 		timeout    = flag.Duration("timeout", 0, "abort the search after this long (e.g. 2m; 0 = no limit)")
+		mcacheFile = flag.String("measure-cache", "", "measurement-cache JSON file: loaded before the search (a warm restart skips already-simulated stages) and saved after it; a corrupt or missing file starts cold")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -81,11 +83,38 @@ func main() {
 	}
 
 	prof := profile.New(spec)
+	var mcache *measure.Cache
+	if *mcacheFile != "" {
+		mcache = measure.NewCache()
+		if n, err := mcache.LoadFile(*mcacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "iosopt: -measure-cache %s: %v (starting cold)\n", *mcacheFile, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "iosopt: loaded %d cached measurements from %s\n", n, *mcacheFile)
+		}
+		prof.SetMeasureCache(mcache)
+	}
+	// The cache is worth saving even when the search does not finish: a
+	// timed-out NasNet run has already paid for its simulations, and the
+	// retry should resume from them instead of starting cold.
+	saveMeasureCache := func() {
+		if mcache == nil {
+			return
+		}
+		if err := mcache.SaveFile(*mcacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "iosopt: save measure cache: %v\n", err)
+			return
+		}
+		st := mcache.Stats()
+		fmt.Fprintf(os.Stderr, "iosopt: measure cache: %d entries saved to %s (%d simulator runs avoided)\n",
+			st.Size, *mcacheFile, st.Saved())
+	}
+
 	res, err := core.OptimizeWithProgress(ctx, g, prof, opts, progressFn)
 	if *progress {
 		fmt.Fprintln(os.Stderr) // finish the \r progress line
 	}
 	if err != nil {
+		saveMeasureCache()
 		if errors.Is(err, context.Canceled) {
 			fatal(fmt.Errorf("interrupted; search cancelled cleanly"))
 		}
@@ -109,6 +138,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "iosopt: %s on %s: %d stages, %.3f ms (sequential %.3f ms, %.2fx); search %s, %d states, %d transitions\n",
 		g.Name, spec.Name, res.Schedule.NumStages(), 1e3*iosLat, 1e3*seqLat, seqLat/iosLat,
 		res.Stats.WallTime.Round(1e6), res.Stats.States, res.Stats.Transitions)
+	saveMeasureCache()
 
 	data, err := res.Schedule.MarshalJSON()
 	if err != nil {

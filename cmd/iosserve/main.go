@@ -37,6 +37,7 @@ import (
 
 	"ios/internal/core"
 	"ios/internal/gpusim"
+	"ios/internal/measure"
 	"ios/internal/serve"
 )
 
@@ -53,6 +54,8 @@ func main() {
 		strategy   = flag.String("strategy", "both", "default strategy set: both, parallel, merge")
 		workers    = flag.Int("workers", 0, "DP engine worker goroutines per block on cache misses (0 = GOMAXPROCS); schedules are identical at every setting")
 		deadline   = flag.Duration("deadline", 0, "server-side per-request deadline (e.g. 30s); requests over it are shed with 503 and their searches cancelled (0 = none)")
+		mcacheFile = flag.String("measure-cache", "", "measurement-cache JSON file: loaded on start (a warm restart skips already-simulated stages) and saved on clean shutdown; a corrupt or missing file starts cold")
+		mcacheSize = flag.Int("measure-cache-size", serve.DefaultMeasureCacheSize, "measurement-cache capacity in fingerprints (0 = unbounded); over capacity, entries are shed and re-simulated on next use")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Usage = func() {
@@ -74,16 +77,49 @@ func main() {
 	if err := opts.Validate(); err != nil {
 		fatal(err)
 	}
+	// The measurement cache persists simulator work across restarts: load
+	// it before warming (so -warm on a warm file costs near nothing) and
+	// save it on clean shutdown. Any load failure — missing file, corrupt
+	// JSON, incompatible version — just starts cold.
+	mcache := measure.NewCacheSize(*mcacheSize)
+	if *mcacheFile != "" {
+		if n, err := mcache.LoadFile(*mcacheFile); err != nil {
+			log.Printf("iosserve: -measure-cache %s: %v (starting cold)", *mcacheFile, err)
+		} else {
+			log.Printf("iosserve: loaded %d cached measurements from %s", n, *mcacheFile)
+		}
+	}
 	cfg := serve.Config{
-		Device:   spec,
-		Options:  opts,
-		Cache:    serve.NewScheduleCache(*cacheFlag),
-		Deadline: *deadline,
+		Device:       spec,
+		Options:      opts,
+		Cache:        serve.NewScheduleCache(*cacheFlag),
+		MeasureCache: mcache,
+		Deadline:     *deadline,
 	}
 	if !*quietFlag {
 		cfg.Logf = log.New(os.Stderr, "iosserve: ", log.LstdFlags).Printf
 	}
 	srv := serve.NewServer(cfg)
+	// Saved on every exit path — including an interrupted or failed
+	// warm-up and a listener that never came up: whatever simulations
+	// completed are exactly what a warm restart wants.
+	saveMeasureCache := func() {
+		if *mcacheFile == "" {
+			return
+		}
+		if err := mcache.SaveFile(*mcacheFile); err != nil {
+			log.Printf("iosserve: save measure cache: %v", err)
+			return
+		}
+		st := mcache.Stats()
+		log.Printf("iosserve: saved %d measurements to %s (%d simulator runs avoided this session)",
+			st.Size, *mcacheFile, st.Saved())
+	}
+	// fail is fatal() for errors past cache creation: save first.
+	fail := func(err error) {
+		saveMeasureCache()
+		fatal(err)
+	}
 
 	// SIGINT/SIGTERM cancel this context: in-flight warming and searches
 	// stop at their next level barrier and the HTTP server shuts down
@@ -108,9 +144,10 @@ func main() {
 		if err := srv.Warm(ctx, names, batches); err != nil {
 			if errors.Is(err, context.Canceled) {
 				log.Printf("iosserve: warming interrupted, exiting")
+				saveMeasureCache()
 				return
 			}
-			fatal(err)
+			fail(err)
 		}
 	}
 
@@ -138,10 +175,11 @@ func main() {
 	}()
 	log.Printf("iosserve: serving %s schedules on %s", spec.Name, addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(err)
+		fail(err)
 	}
 	stop() // unblock the drain goroutine if the listener failed on its own
 	<-drained
+	saveMeasureCache()
 	log.Printf("iosserve: shut down cleanly")
 }
 

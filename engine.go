@@ -7,10 +7,41 @@ import (
 
 	"ios/internal/core"
 	"ios/internal/gpusim"
+	"ios/internal/measure"
 	"ios/internal/profile"
 	"ios/internal/schedule"
 	"ios/internal/serve"
 )
+
+// MeasureCache is a process-wide structural measurement cache: a
+// concurrent, deduplicating map from a canonical stage fingerprint —
+// computed from the lowered kernel signatures and concurrency-group
+// structure of a stage, invariant to node identity and graph position —
+// to the exact simulated latency of that stage. Attached to an Engine
+// with WithMeasureCache (or to a server via ServerConfig.MeasureCache),
+// it persists across Optimize calls and is shared by every DP worker, so
+// repeated structure (NasNet's stacked cells, re-served models, warm
+// restarts via Save/Load) is simulated once. Cached values are exact
+// simulator outputs: schedules, costs, and search statistics are
+// bit-identical with or without the cache — only the measurement count
+// drops.
+type MeasureCache = measure.Cache
+
+// MeasureCacheStats counts measurement-cache traffic (hits, misses,
+// coalesced in-flight waits, loaded entries).
+type MeasureCacheStats = measure.Stats
+
+// NewMeasureCache returns an empty, unbounded structural measurement
+// cache — right for fixed workloads, whose entry count is bounded by the
+// workload's structure.
+func NewMeasureCache() *MeasureCache { return measure.NewCache() }
+
+// NewMeasureCacheSize returns a measurement cache holding at most
+// maxEntries fingerprints (0 = unbounded). Long-running processes
+// measuring arbitrary graphs should be bounded; over capacity, entries
+// are shed and simply re-simulated on next use — correctness is
+// unaffected.
+func NewMeasureCacheSize(maxEntries int) *MeasureCache { return measure.NewCacheSize(maxEntries) }
 
 // Progress is one search-progress snapshot, delivered to the callback
 // installed with WithProgress (or passed to OptimizeWithProfilerContext's
@@ -45,8 +76,9 @@ func NewSimBackend(dev Device) Backend { return profile.SimBackend(dev) }
 
 // Engine is the context-first entry point to IOS: a reusable, concurrency
 // -safe handle configured once (device, workers, measurement backend,
-// optional schedule cache, progress reporting) whose methods all take a
-// context.Context and honor its cancellation and deadline:
+// optional schedule and measurement caches, progress reporting) whose
+// methods all take a context.Context and honor its cancellation and
+// deadline:
 //
 //	eng := ios.NewEngine(ios.V100, ios.WithWorkers(8), ios.WithCache(1024))
 //	res, err := eng.Optimize(ctx, g, ios.Options{})
@@ -67,6 +99,7 @@ type Engine struct {
 	pruning  *Pruning
 	progress func(Progress)
 	cache    *serve.ScheduleCache
+	mcache   *measure.Cache
 	prof     *Profiler
 }
 
@@ -101,6 +134,21 @@ func WithProgress(fn func(Progress)) EngineOption {
 // Spec().Name should still identify the device for cache keying.
 func WithBackend(b Backend) EngineOption { return func(e *Engine) { e.backend = b } }
 
+// WithMeasureCache attaches a structural measurement cache: stage
+// simulations are deduplicated by canonical fingerprint across every
+// Optimize/Measure call on this engine (and across engines and servers
+// sharing the same cache). Pass nil to give the engine a fresh private
+// cache. Results are bit-identical either way — only the number of
+// simulator invocations drops; see MeasureCache.
+func WithMeasureCache(c *MeasureCache) EngineOption {
+	return func(e *Engine) {
+		if c == nil {
+			c = measure.NewCache()
+		}
+		e.mcache = c
+	}
+}
+
 // WithPruning sets the engine's default pruning for searches whose
 // Options leave Pruning unset (the per-call value always wins). A zero
 // Pruning argument — including the exported NoPruning value — is taken
@@ -133,6 +181,9 @@ func NewEngine(dev Device, opts ...EngineOption) *Engine {
 		e.backend = profile.SimBackend(dev)
 	}
 	e.prof = profile.NewWithBackend(e.backend, profile.Options{})
+	if e.mcache != nil {
+		e.prof.SetMeasureCache(e.mcache)
+	}
 	return e
 }
 
@@ -146,6 +197,16 @@ func (e *Engine) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cache.Stats()
+}
+
+// MeasureCacheStats reports the structural measurement cache's traffic
+// counters; the zero value when the engine has no measurement cache (see
+// WithMeasureCache).
+func (e *Engine) MeasureCacheStats() MeasureCacheStats {
+	if e.mcache == nil {
+		return MeasureCacheStats{}
+	}
+	return e.mcache.Stats()
 }
 
 // newProfiler forks a per-call profiler off the engine's root. Forks

@@ -349,10 +349,21 @@ func (w *engineWorker) carve(list []transition) []transition {
 	return w.listArena[start : start+n : start+n]
 }
 
+// smallBlockOps is the parallel-dispatch threshold: blocks at or below
+// this operator count always run single-worker. A tiny block's whole
+// search costs less than the engine's parallel setup (worker forks with
+// private simulators, extra memo shards), which PERF.md measured as a
+// ~0.9× regression on SqueezeNet; a serial engine skips all of it — no
+// fork (the service drives the root profiler directly), one shard, inline
+// level loops. Results are bit-identical at every worker count, so this
+// is purely an execution heuristic.
+const smallBlockOps = 8
+
 // newEngine builds the engine and its measurement service: the passed
 // profiler prelowers the block's nodes (and computes their solo
 // durations), then each worker forks from it, sharing those immutable
-// tables.
+// tables (a single-worker engine skips the fork and drives the profiler
+// directly).
 func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
 	e := &engine{b: b, opts: opts, prog: opts.tracker}
 	workers := opts.effectiveWorkers()
@@ -361,6 +372,9 @@ func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
 	// block size keeps the fork fan-out proportional to real work.
 	if n := len(b.Nodes); workers > n {
 		workers = n
+	}
+	if len(b.Nodes) <= smallBlockOps {
+		workers = 1
 	}
 	// Measurement noise draws from per-worker RNG streams, so which
 	// worker measures an ending would make noisy results racy; a single
@@ -379,11 +393,13 @@ func newEngine(b *graph.Block, prof *profile.Profiler, opts Options) *engine {
 	e.workers = make([]*engineWorker, e.svc.Workers())
 	e.serial = e.svc.Workers() == 1
 	e.shardCount = 1
-	for e.shardCount < 4*len(e.workers) {
-		e.shardCount <<= 1
-	}
-	if e.shardCount > stageShardCount {
-		e.shardCount = stageShardCount
+	if !e.serial {
+		for e.shardCount < 4*len(e.workers) {
+			e.shardCount <<= 1
+		}
+		if e.shardCount > stageShardCount {
+			e.shardCount = stageShardCount
+		}
 	}
 	for i := 0; i < e.shardCount; i++ {
 		e.shards[i].m = newSetTable(16)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// full-network tests (minutes under the detector, seconds without) skip
+// themselves when it is — their properties are covered race-wise by the
+// smaller zoo networks.
+const raceEnabled = false

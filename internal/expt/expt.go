@@ -113,23 +113,24 @@ type Runner func(c Config, w io.Writer) error
 
 // All maps experiment ids to runners, for cmd/iosbench.
 var All = map[string]Runner{
-	"table1": Table1,
-	"table2": Table2,
-	"table3": Table3,
-	"fig1":   Fig1,
-	"fig2":   Fig2,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"fig16":  Fig16,
-	"resnet": ResNet,
-	"search": SearchCost,
+	"table1":        Table1,
+	"table2":        Table2,
+	"table3":        Table3,
+	"fig1":          Fig1,
+	"fig2":          Fig2,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"fig11":         Fig11,
+	"fig12":         Fig12,
+	"fig14":         Fig14,
+	"fig15":         Fig15,
+	"fig16":         Fig16,
+	"resnet":        ResNet,
+	"search":        SearchCost,
+	"measure-cache": MeasureCache,
 }
 
 // Names returns the experiment ids in report order: the paper's tables
@@ -137,7 +138,7 @@ var All = map[string]Runner{
 func Names() []string {
 	return append([]string{"fig1", "fig2", "table1", "table2", "fig6", "fig7", "fig8",
 		"fig9", "table3", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "resnet",
-		"search"},
+		"search", "measure-cache"},
 		ExtensionNames()...)
 }
 

@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ios/internal/core"
+	"ios/internal/measure"
+	"ios/internal/profile"
+	"ios/internal/report"
+)
+
+// MeasureRow is one measurement-cache record: the simulator cost of
+// optimizing a network without the structural measurement cache, with a
+// cold cache (first search fills it), and with the warm cache (a repeat
+// search, the serving tier's warm-model / warm-restart case). Schedules
+// and costs are bit-identical in all three runs — Identical asserts it —
+// so the rows isolate pure measurement dedup. cmd/iosbench serializes
+// these as BENCH_measure.json so successive PRs have a perf trajectory
+// for the cache.
+type MeasureRow struct {
+	Network string `json:"network"`
+	Ops     int    `json:"ops"`
+	// UncachedMeasurements is the simulator-invocation count without a
+	// cache; Cold/WarmMeasurements are the counts for the filling and the
+	// repeat search.
+	UncachedMeasurements int `json:"uncached_measurements"`
+	ColdMeasurements     int `json:"cold_measurements"`
+	WarmMeasurements     int `json:"warm_measurements"`
+	// Hits/Misses/Saved are the cache's counters after both cached runs
+	// (Saved = hits + coalesced waits = simulator runs avoided).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Saved  int64 `json:"saved"`
+	// Entries is the resident fingerprint count after both runs.
+	Entries int `json:"entries"`
+	// Wall-clock per variant, milliseconds.
+	UncachedWallMS float64 `json:"uncached_wall_ms"`
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	// Identical reports that all three runs produced bit-identical
+	// schedules (it must always be true; rows with false indicate a
+	// fingerprint soundness bug).
+	Identical bool `json:"identical"`
+}
+
+// MeasureCacheRows runs the uncached/cold/warm comparison over the
+// benchmark networks.
+func MeasureCacheRows(c Config) ([]MeasureRow, error) {
+	c = c.withDefaults()
+	var rows []MeasureRow
+	names, graphs := c.benchmarks()
+	for i, g := range graphs {
+		timed := func(p *profile.Profiler) (*core.Result, float64, error) {
+			start := time.Now()
+			res, err := core.Optimize(g, p, c.Opts)
+			return res, float64(time.Since(start)) / 1e6, err
+		}
+		uncached, uncachedMS, err := timed(profile.New(c.Device))
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s uncached: %w", names[i], err)
+		}
+		cache := measure.NewCache()
+		coldProf := profile.New(c.Device)
+		coldProf.SetMeasureCache(cache)
+		cold, coldMS, err := timed(coldProf)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s cold cache: %w", names[i], err)
+		}
+		warmProf := profile.New(c.Device)
+		warmProf.SetMeasureCache(cache)
+		warm, warmMS, err := timed(warmProf)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s warm cache: %w", names[i], err)
+		}
+		st := cache.Stats()
+		rows = append(rows, MeasureRow{
+			Network:              names[i],
+			Ops:                  len(g.SchedulableNodes()),
+			UncachedMeasurements: uncached.Stats.Measurements,
+			ColdMeasurements:     cold.Stats.Measurements,
+			WarmMeasurements:     warm.Stats.Measurements,
+			Hits:                 st.Hits,
+			Misses:               st.Misses,
+			Saved:                st.Saved(),
+			Entries:              st.Size,
+			UncachedWallMS:       uncachedMS,
+			ColdWallMS:           coldMS,
+			WarmWallMS:           warmMS,
+			Identical: cold.Schedule.String() == uncached.Schedule.String() &&
+				warm.Schedule.String() == uncached.Schedule.String(),
+		})
+	}
+	return rows, nil
+}
+
+// MeasureCache renders the MeasureCacheRows table (experiment id
+// "measure-cache").
+func MeasureCache(c Config, w io.Writer) error {
+	rows, err := MeasureCacheRows(c)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Measurement cache: simulator invocations per Optimize on %s (schedules bit-identical in every variant)",
+		c.withDefaults().Device.Name),
+		"network", "ops", "uncached meas", "cold meas", "warm meas", "saved", "uncached ms", "cold ms", "warm ms", "identical")
+	for _, r := range rows {
+		t.AddRow(r.Network, r.Ops, r.UncachedMeasurements, r.ColdMeasurements, r.WarmMeasurements,
+			r.Saved, r.UncachedWallMS, r.ColdWallMS, r.WarmWallMS, r.Identical)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(cold = first search fills the cache; warm = repeat search, the serving tier's steady state)")
+	return nil
+}

@@ -1,0 +1,274 @@
+package measure
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount spreads the cache over independently locked shards so the DP
+// engine's worker pool (and concurrent serving requests) rarely contend on
+// one mutex. Power of two; the key hash below mixes well enough for a mask.
+const shardCount = 32
+
+// Cache is a concurrent, sharded, deduplicating map from canonical stage
+// fingerprint (see Context/AppendStreams) to exact simulated latency.
+//
+// Lookups are singleflight per key: the first goroutine to miss claims the
+// key and measures while concurrent requesters for the same fingerprint
+// block until that one measurement is published, so a fingerprint is never
+// simulated twice no matter how many search workers race to it. The cache
+// only ever grows — entries are exact oracle outputs, so there is nothing
+// to invalidate — and is safe for use from any number of goroutines.
+//
+// The zero value is not usable; call NewCache or NewCacheSize.
+type Cache struct {
+	shards [shardCount]cacheShard
+	// perShardCap bounds each shard's resident entries (0 = unbounded):
+	// exact oracle values are always recomputable, so a full shard sheds
+	// arbitrary completed entries rather than maintaining LRU bookkeeping
+	// on the measurement hot path. In-flight claims are never evicted.
+	perShardCap int
+
+	// size counts completed entries (maintained by Commit and insert) so
+	// Len/Stats never scan the shards — /stats polls them on a hot cache.
+	size      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	loaded    atomic.Int64
+	evicted   atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// entry is one fingerprint's slot. The done/mu pair makes it a
+// singleflight: the claiming goroutine holds mu from creation until
+// Commit (or Abandon), so waiters that observe done=false block on mu
+// until the latency is published. done is set with release semantics
+// after lat is written, so the lock-free hit path reads a complete
+// value. abandoned (written under mu) tells unblocked waiters the owner
+// died without a result and the key must be retried.
+type entry struct {
+	done atomic.Bool
+	mu   sync.Mutex
+	lat  float64
+	// abandoned marks a claim released without a latency (the owner's
+	// measurement panicked); read by waiters after acquiring mu.
+	abandoned bool
+}
+
+// Claim is an exclusive lease on one missing fingerprint, returned by
+// GetOrBegin: the holder must measure and call Commit — or, if the
+// measurement fails, Abandon — exactly once (every other goroutine
+// asking for the same key is blocked on it until then).
+type Claim struct {
+	c   *Cache
+	sh  *cacheShard
+	key string
+	e   *entry
+}
+
+// Commit publishes the measured latency and releases the claim.
+func (cl *Claim) Commit(lat float64) {
+	cl.e.lat = lat
+	cl.e.done.Store(true)
+	cl.c.size.Add(1)
+	cl.e.mu.Unlock()
+}
+
+// Abandon releases the claim without publishing a latency: the entry is
+// removed from the cache (so the fingerprint stays measurable) and
+// blocked waiters retry the key instead of reading a garbage value.
+// Call it when the measurement cannot complete — e.g. from a deferred
+// recover around a panicking backend — or the fingerprint would stay
+// wedged forever for every future requester of a shared cache.
+func (cl *Claim) Abandon() {
+	cl.sh.mu.Lock()
+	if cl.sh.m[cl.key] == cl.e {
+		delete(cl.sh.m, cl.key)
+	}
+	cl.sh.mu.Unlock()
+	cl.e.abandoned = true // under cl.e.mu, held since the claim
+	cl.e.mu.Unlock()
+}
+
+// NewCache returns an empty, unbounded measurement cache — the right
+// default for searches over a fixed workload, where the entry count is
+// bounded by the workload's structure.
+func NewCache() *Cache { return NewCacheSize(0) }
+
+// NewCacheSize returns an empty cache holding at most maxEntries
+// completed fingerprints (0 or negative = unbounded). Long-running
+// processes measuring arbitrary client-supplied graphs — the serving
+// tier — should be bounded: the cache otherwise only ever grows. Over
+// capacity, arbitrary completed entries are shed (they are exact oracle
+// outputs, so eviction costs a re-simulation, never correctness);
+// in-flight claims are never evicted.
+func NewCacheSize(maxEntries int) *Cache {
+	c := &Cache{}
+	if maxEntries > 0 {
+		c.perShardCap = (maxEntries + shardCount - 1) / shardCount
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+	}
+	return c
+}
+
+// trimShardLocked sheds completed entries until the shard fits its cap.
+// Caller holds sh.mu. Map iteration order is effectively random, which is
+// exactly the cheap eviction policy wanted here.
+func (c *Cache) trimShardLocked(sh *cacheShard) {
+	if c.perShardCap <= 0 {
+		return
+	}
+	for k, e := range sh.m {
+		if len(sh.m) <= c.perShardCap {
+			return
+		}
+		if !e.done.Load() {
+			continue // never evict an in-flight claim
+		}
+		delete(sh.m, k)
+		c.size.Add(-1)
+		c.evicted.Add(1)
+	}
+}
+
+// GetOrBegin looks up a fingerprint. On a hit (or after waiting out
+// another goroutine's in-flight measurement of the same key) it returns
+// the cached latency and a nil Claim. On a miss it returns a non-nil
+// Claim: the caller now owns the key and must measure and Commit (or
+// Abandon on failure).
+//
+// The key may point into a reusable scratch buffer: the cache copies it
+// on insertion and never retains the caller's slice.
+func (c *Cache) GetOrBegin(key []byte) (float64, *Claim) {
+	sh := &c.shards[shardOf(key)]
+	for {
+		sh.mu.Lock()
+		e, ok := sh.m[string(key)] // no-copy map lookup
+		if !ok {
+			ks := string(key)
+			e = &entry{}
+			// Lock the entry before it becomes visible: any goroutine
+			// that finds it will block on mu until Commit publishes the
+			// latency (or Abandon sends it back around this loop).
+			e.mu.Lock()
+			c.trimShardLocked(sh)
+			sh.m[ks] = e
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			return 0, &Claim{c: c, sh: sh, key: ks, e: e}
+		}
+		sh.mu.Unlock()
+		if e.done.Load() {
+			c.hits.Add(1)
+			return e.lat, nil
+		}
+		// In flight on another goroutine: wait for its Commit.
+		// Measurement holders never acquire a second entry while holding
+		// one, so this cannot deadlock.
+		c.coalesced.Add(1)
+		e.mu.Lock()
+		abandoned := e.abandoned
+		lat := e.lat
+		e.mu.Unlock()
+		if abandoned {
+			// The owner died without a result and removed the entry;
+			// retry the key — we (or another waiter) become the new
+			// owner.
+			continue
+		}
+		return lat, nil
+	}
+}
+
+// Lookup returns the latency for a completed fingerprint without claiming
+// or waiting; it reports false for absent and in-flight keys. Counters are
+// untouched. Intended for tests and tooling.
+func (c *Cache) Lookup(key []byte) (float64, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)]
+	sh.mu.Unlock()
+	if !ok || !e.done.Load() {
+		return 0, false
+	}
+	return e.lat, true
+}
+
+// insert adds a completed entry if the key is absent (used by Load; an
+// existing entry — completed or in flight — wins, since by construction
+// both sides hold the same oracle value). Reports whether it inserted.
+func (c *Cache) insert(key string, lat float64) bool {
+	sh := &c.shards[shardOf([]byte(key))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false
+	}
+	c.trimShardLocked(sh)
+	e := &entry{lat: lat}
+	e.done.Store(true)
+	sh.m[key] = e
+	c.size.Add(1)
+	return true
+}
+
+// Len returns the number of completed entries (O(1): a counter, not a
+// shard scan — Stats is polled per /stats request on hot caches).
+func (c *Cache) Len() int { return int(c.size.Load()) }
+
+// Stats is a snapshot of the cache's traffic counters. All counters are
+// cumulative since the cache was created.
+type Stats struct {
+	// Size is the number of resident completed entries.
+	Size int `json:"size"`
+	// Hits served a completed latency without simulating.
+	Hits int64 `json:"hits"`
+	// Misses claimed a fingerprint and ran the simulator.
+	Misses int64 `json:"misses"`
+	// Coalesced requests arrived while the same fingerprint was being
+	// measured and waited for that in-flight run instead of starting
+	// their own — the singleflight dedup count.
+	Coalesced int64 `json:"coalesced"`
+	// Loaded counts entries inserted from a persisted cache file.
+	Loaded int64 `json:"loaded"`
+	// Evicted counts completed entries shed over capacity (0 for
+	// unbounded caches).
+	Evicted int64 `json:"evicted"`
+}
+
+// Saved returns the number of simulator invocations the cache avoided:
+// every hit and every coalesced wait would have been a measurement.
+func (s Stats) Saved() int64 { return s.Hits + s.Coalesced }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Size:      c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Loaded:    c.loaded.Load(),
+		Evicted:   c.evicted.Load(),
+	}
+}
+
+// shardOf hashes a key to its shard (FNV-1a over the bytes; key bytes are
+// dominated by float bit patterns, which FNV spreads fine for a 5-bit
+// shard index — this is not the lookup hash, Go's map provides that).
+func shardOf(key []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// Fold the high bits in: FNV's low bits alone are weak for keys that
+	// differ only in trailing float payloads.
+	return int((h ^ h>>32) & (shardCount - 1))
+}

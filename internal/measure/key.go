@@ -1,0 +1,110 @@
+// Package measure is the structural measurement cache behind IOS's
+// profiling layer: a process-wide, concurrency-safe map from a canonical
+// stage fingerprint to the exact simulated latency of that stage.
+//
+// The paper's workloads are highly repetitive — NasNet-A is a stack of
+// near-identical cells, Inception repeats block structure, and a serving
+// tier re-optimizes the same models across requests — yet the search's
+// stage memos are keyed by node identity and scoped to one block of one
+// search, so every repeated structure is re-simulated from scratch. This
+// package deduplicates that work by *structural* identity instead: two
+// stages whose lowered kernel programs are identical (same per-stream
+// kernel signatures on the same device model) have, by the simulator's
+// determinism, exactly the same latency, no matter which nodes, which
+// block, which search, or which process run produced them.
+//
+// Correctness rests on the key being an exact canonical serialization of
+// the measurement input, not a lossy hash: a cache hit returns the very
+// float64 the simulator would have computed, so schedules, costs, and DP
+// state/transition statistics are bit-identical with the cache on or off —
+// only the number of simulator invocations drops.
+package measure
+
+import (
+	"encoding/binary"
+	"math"
+
+	"ios/internal/gpusim"
+)
+
+// KeyVersion is the first byte of every cache key: the version of the
+// canonical encoding below. Bump it whenever the encoding (or the set of
+// latency-relevant fields it covers) changes, so persisted caches from
+// older builds are rejected at Load instead of silently mismatching.
+const KeyVersion = 1
+
+// Context returns the canonical cache-key prefix for a measurement
+// substrate: every device-model field that can influence a simulated
+// latency, plus the profiler's per-kernel framework dispatch overhead
+// (which is folded into kernel byte counts before the simulator runs).
+// Keys built on the same Context prefix are comparable; keys from
+// different devices or lowering overheads never collide, which is what
+// lets one process-wide cache serve requests for several devices.
+//
+// Spec.Name is included even though the simulator's arithmetic never
+// reads it: for the built-in simulator a latency is a pure function of
+// the numeric fields, but a custom profile.Backend is identified only by
+// its Spec, so the name is the one handle that keeps two backends with
+// numerically identical specs (e.g. a hardware harness modeled after the
+// V100) from silently serving each other's latencies out of a shared
+// cache. Custom backends sharing a cache must therefore use distinct
+// Spec names — the same convention the serving tier's schedule cache
+// already relies on.
+func Context(spec gpusim.Spec, extraLaunchOverhead float64) []byte {
+	key := make([]byte, 0, 96+len(spec.Name))
+	key = append(key, KeyVersion)
+	key = appendInt(key, len(spec.Name))
+	key = append(key, spec.Name...)
+	key = appendInt(key, spec.SMs)
+	key = appendFloat(key, spec.PeakFLOPs)
+	key = appendFloat(key, spec.MemBandwidth)
+	key = appendInt(key, spec.BlocksPerSM)
+	key = appendInt(key, spec.WarpsPerSM)
+	key = appendInt(key, spec.WarpsForPeak)
+	key = appendFloat(key, spec.KernelLaunch)
+	key = appendFloat(key, spec.StageSync)
+	key = appendFloat(key, spec.ContentionCoef)
+	key = appendInt(key, spec.MaxConcurrentKernels)
+	key = appendFloat(key, extraLaunchOverhead)
+	return key
+}
+
+// AppendStreams appends the canonical encoding of a stage's stream
+// programs — the stage's concurrency-group structure down to per-kernel
+// launch signatures — to a key (normally a Context prefix) and returns the
+// extended slice. The encoding is length-prefixed at every level, so it is
+// an unambiguous serialization: equal keys imply equal stream programs.
+//
+// Kernel names are excluded (they label traces, carry node names, and
+// never influence the simulator), which is precisely what makes the
+// fingerprint invariant to node identity and graph position. Stream order
+// is preserved: callers measuring canonically ordered stages (as the DP
+// engine and MeasureStage both do) get position-invariant sharing without
+// this package having to assert that the simulator is order-invariant.
+func AppendStreams(key []byte, streams []gpusim.Stream) []byte {
+	key = appendInt(key, len(streams))
+	for _, s := range streams {
+		key = appendInt(key, len(s))
+		for i := range s {
+			k := &s[i]
+			key = appendFloat(key, k.FLOPs)
+			key = appendFloat(key, k.Bytes)
+			key = appendInt(key, k.Blocks)
+			key = appendInt(key, k.WarpsPerBlock)
+		}
+	}
+	return key
+}
+
+// appendFloat appends the IEEE-754 bit pattern, little-endian. Encoding
+// bits (not a decimal rendering) keeps the key exact: distinct float64
+// values always produce distinct bytes.
+func appendFloat(key []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(key, math.Float64bits(v))
+}
+
+// appendInt appends a non-negative int as a uvarint (self-delimiting, so
+// mixed fixed/varint records still decode unambiguously).
+func appendInt(key []byte, v int) []byte {
+	return binary.AppendUvarint(key, uint64(v))
+}

@@ -1,0 +1,331 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/base64"
+	"strings"
+	"sync"
+	"testing"
+
+	"ios/internal/gpusim"
+)
+
+func testKey(streams []gpusim.Stream) []byte {
+	return AppendStreams(Context(gpusim.TeslaV100, 0), streams)
+}
+
+func kernel(flops, bytes float64) gpusim.Kernel {
+	return gpusim.Kernel{FLOPs: flops, Bytes: bytes, Blocks: 4, WarpsPerBlock: 8}
+}
+
+func TestGetOrBeginMissThenHit(t *testing.T) {
+	c := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(1e6, 2e6)}})
+	lat, claim := c.GetOrBegin(key)
+	if claim == nil {
+		t.Fatalf("first lookup hit an empty cache (lat=%g)", lat)
+	}
+	claim.Commit(3.5e-6)
+	got, claim2 := c.GetOrBegin(key)
+	if claim2 != nil {
+		t.Fatal("second lookup missed")
+	}
+	if got != 3.5e-6 {
+		t.Fatalf("cached latency = %g, want 3.5e-6", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Coalesced != 0 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Saved() != 1 {
+		t.Fatalf("Saved() = %d, want 1", st.Saved())
+	}
+}
+
+func TestGetOrBeginKeyIsCopied(t *testing.T) {
+	c := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(1, 1)}})
+	buf := append([]byte(nil), key...)
+	_, claim := c.GetOrBegin(buf)
+	claim.Commit(1)
+	for i := range buf {
+		buf[i] = 0xAA // clobber the caller's scratch
+	}
+	if _, ok := c.Lookup(key); !ok {
+		t.Fatal("cache retained the caller's scratch buffer instead of copying the key")
+	}
+}
+
+// TestSingleflightCoalesces: goroutines racing one fingerprint produce
+// exactly one claim; everyone else blocks until Commit and reads the
+// published value. Run with -race.
+func TestSingleflightCoalesces(t *testing.T) {
+	c := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(7, 7)}})
+	const n = 16
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		owners int
+		lats   []float64
+	)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			lat, claim := c.GetOrBegin(key)
+			if claim != nil {
+				mu.Lock()
+				owners++
+				mu.Unlock()
+				lat = 42
+				claim.Commit(lat)
+			}
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if owners != 1 {
+		t.Fatalf("%d goroutines claimed the key, want exactly 1", owners)
+	}
+	for _, l := range lats {
+		if l != 42 {
+			t.Fatalf("a waiter read %g, want the committed 42", l)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+coalesced", st, n-1)
+	}
+}
+
+// TestCapacityBoundSheds: a bounded cache stays within its capacity by
+// shedding completed entries (never in-flight claims) and keeps serving
+// correctly — evicted fingerprints just re-measure.
+func TestCapacityBoundSheds(t *testing.T) {
+	const cap = 64
+	c := NewCacheSize(cap)
+	mk := func(i int) []byte {
+		return testKey([]gpusim.Stream{{kernel(float64(i), 1)}})
+	}
+	for i := 0; i < 10*cap; i++ {
+		_, claim := c.GetOrBegin(mk(i))
+		if claim == nil {
+			t.Fatalf("entry %d unexpectedly present", i)
+		}
+		claim.Commit(float64(i))
+	}
+	// Per-shard caps round up, so allow a small margin over the nominal
+	// capacity — the point is that 640 inserts did not retain 640 entries.
+	if n := c.Len(); n > 2*cap {
+		t.Fatalf("bounded cache holds %d entries, cap %d", n, cap)
+	}
+	if st := c.Stats(); st.Evicted == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	// A shed fingerprint is simply a miss again.
+	lat, claim := c.GetOrBegin(mk(0))
+	if claim != nil {
+		claim.Commit(0)
+	} else if lat != 0 {
+		t.Fatalf("surviving entry returned wrong latency %g", lat)
+	}
+	// Unbounded caches never evict.
+	u := NewCache()
+	for i := 0; i < 10*cap; i++ {
+		_, cl := u.GetOrBegin(mk(i))
+		cl.Commit(1)
+	}
+	if u.Len() != 10*cap || u.Stats().Evicted != 0 {
+		t.Fatalf("unbounded cache: len=%d evicted=%d", u.Len(), u.Stats().Evicted)
+	}
+}
+
+// TestAbandonUnwedgesWaiters: a claim released without a result (the
+// owner's measurement panicked) must unblock coalesced waiters into a
+// retry and leave the fingerprint measurable — not wedge it forever.
+func TestAbandonUnwedgesWaiters(t *testing.T) {
+	c := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(3, 3)}})
+	_, claim := c.GetOrBegin(key)
+	if claim == nil {
+		t.Fatal("no claim on an empty cache")
+	}
+	waited := make(chan float64, 1)
+	go func() {
+		lat, cl := c.GetOrBegin(key) // blocks on the in-flight claim
+		if cl != nil {
+			// The abandon made this waiter the new owner: measure.
+			lat = 9
+			cl.Commit(lat)
+		}
+		waited <- lat
+	}()
+	// Give the waiter time to block, then abandon.
+	claim.Abandon()
+	if lat := <-waited; lat != 9 {
+		t.Fatalf("waiter after abandon got %g, want to have re-owned and committed 9", lat)
+	}
+	if lat, ok := c.Lookup(key); !ok || lat != 9 {
+		t.Fatalf("fingerprint not measurable after abandon: lat=%g ok=%v", lat, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after abandon+commit, want 1", c.Len())
+	}
+}
+
+// TestKeyEncodingUnambiguous: the canonical encoding must separate stream
+// structure, kernel order, kernel fields, and measurement context — every
+// pair below would be a latency-corrupting collision.
+func TestKeyEncodingUnambiguous(t *testing.T) {
+	a, b := kernel(1e6, 2e6), kernel(3e6, 4e6)
+	cases := []struct {
+		name string
+		x, y []byte
+	}{
+		{"grouping", testKey([]gpusim.Stream{{a, b}}), testKey([]gpusim.Stream{{a}, {b}})},
+		{"kernel order", testKey([]gpusim.Stream{{a, b}}), testKey([]gpusim.Stream{{b, a}})},
+		{"stream order", testKey([]gpusim.Stream{{a}, {b}}), testKey([]gpusim.Stream{{b}, {a}})},
+		{"flops", testKey([]gpusim.Stream{{kernel(1, 5)}}), testKey([]gpusim.Stream{{kernel(2, 5)}})},
+		{"bytes", testKey([]gpusim.Stream{{kernel(5, 1)}}), testKey([]gpusim.Stream{{kernel(5, 2)}})},
+		{"blocks", testKey([]gpusim.Stream{{{FLOPs: 1, Bytes: 1, Blocks: 1, WarpsPerBlock: 8}}}),
+			testKey([]gpusim.Stream{{{FLOPs: 1, Bytes: 1, Blocks: 2, WarpsPerBlock: 8}}})},
+		{"empty vs none", testKey(nil), testKey([]gpusim.Stream{{}})},
+		{"device", AppendStreams(Context(gpusim.TeslaV100, 0), []gpusim.Stream{{a}}),
+			AppendStreams(Context(gpusim.TeslaK80, 0), []gpusim.Stream{{a}})},
+		{"overhead", AppendStreams(Context(gpusim.TeslaV100, 0), []gpusim.Stream{{a}}),
+			AppendStreams(Context(gpusim.TeslaV100, 1e-6), []gpusim.Stream{{a}})},
+	}
+	for _, tc := range cases {
+		if bytes.Equal(tc.x, tc.y) {
+			t.Errorf("%s: distinct measurement inputs share one key", tc.name)
+		}
+	}
+	// Kernel name changes must NOT change the key: kernel names carry
+	// node names, which are exactly what the structural fingerprint
+	// exists to ignore.
+	named := a
+	named.Name = "cell_7.sep3x3"
+	if !bytes.Equal(testKey([]gpusim.Stream{{a}}), testKey([]gpusim.Stream{{named}})) {
+		t.Error("kernel name changed the fingerprint")
+	}
+	// The device name, by contrast, IS part of the context: it is the
+	// only handle distinguishing two custom Backends with numerically
+	// identical specs sharing one cache.
+	spec := gpusim.TeslaV100
+	spec.Name = "my-harness"
+	if bytes.Equal(Context(gpusim.TeslaV100, 0), Context(spec, 0)) {
+		t.Error("distinct device names share one context key")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	c := NewCache()
+	keys := [][]byte{
+		testKey([]gpusim.Stream{{kernel(1, 2)}}),
+		testKey([]gpusim.Stream{{kernel(3, 4)}, {kernel(5, 6)}}),
+		testKey(nil),
+	}
+	for i, k := range keys {
+		_, claim := c.GetOrBegin(k)
+		claim.Commit(float64(i) * 1.5e-6)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCache()
+	added, err := fresh.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(keys) {
+		t.Fatalf("loaded %d entries, want %d", added, len(keys))
+	}
+	for i, k := range keys {
+		lat, ok := fresh.Lookup(k)
+		if !ok || lat != float64(i)*1.5e-6 {
+			t.Fatalf("entry %d: lat=%g ok=%v after round trip", i, lat, ok)
+		}
+	}
+	if st := fresh.Stats(); st.Loaded != int64(len(keys)) {
+		t.Fatalf("Loaded = %d, want %d", st.Loaded, len(keys))
+	}
+
+	// Reloading into a warm cache adds nothing and overwrites nothing.
+	if added, err := fresh.Load(bytes.NewReader(buf.Bytes())); err != nil || added != 0 {
+		t.Fatalf("reload: added=%d err=%v, want 0, nil", added, err)
+	}
+}
+
+// TestLoadCorruptFallsBackCleanly: every corruption mode must reject the
+// whole file and leave the cache untouched and usable.
+func TestLoadCorruptFallsBackCleanly(t *testing.T) {
+	good := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(9, 9)}})
+	_, claim := good.GetOrBegin(key)
+	claim.Commit(2e-6)
+	var saved bytes.Buffer
+	if err := good.Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"truncated JSON", saved.String()[:saved.Len()/2]},
+		{"not JSON", "<html>not a cache</html>"},
+		{"wrong file version", `{"version": 99, "entries": []}`},
+		{"bad base64 key", `{"version": 1, "entries": [{"key": "!!!", "latency": 1}]}`},
+		{"empty key", `{"version": 1, "entries": [{"key": "", "latency": 1}]}`},
+		{"wrong key version", `{"version": 1, "entries": [{"key": "_w", "latency": 1}]}`}, // first byte 0xFF
+		{"negative latency", `{"version": 1, "entries": [{"key": "` +
+			base64.RawURLEncoding.EncodeToString(key) + `", "latency": -1}]}`},
+	}
+	for _, tc := range cases {
+		c := NewCache()
+		if _, err := c.Load(strings.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: Load accepted corrupt input", tc.name)
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: corrupt load left %d entries behind", tc.name, c.Len())
+		}
+		// The cache must remain fully usable after a failed load.
+		_, cl := c.GetOrBegin(key)
+		if cl == nil {
+			t.Fatalf("%s: cache unusable after failed load", tc.name)
+		}
+		cl.Commit(1)
+		if lat, ok := c.Lookup(key); !ok || lat != 1 {
+			t.Errorf("%s: cache broken after failed load", tc.name)
+		}
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	c := NewCache()
+	key := testKey([]gpusim.Stream{{kernel(11, 12)}})
+	_, claim := c.GetOrBegin(key)
+	claim.Commit(4e-6)
+	path := t.TempDir() + "/cache.json"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache()
+	if n, err := fresh.LoadFile(path); err != nil || n != 1 {
+		t.Fatalf("LoadFile: n=%d err=%v", n, err)
+	}
+	if lat, ok := fresh.Lookup(key); !ok || lat != 4e-6 {
+		t.Fatalf("LoadFile round trip: lat=%g ok=%v", lat, ok)
+	}
+	if _, err := NewCache().LoadFile(path + ".missing"); err == nil {
+		t.Fatal("LoadFile on a missing path succeeded")
+	}
+}

@@ -1,0 +1,124 @@
+package measure
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// fileVersion is the persisted-file format version (independent of
+// KeyVersion, which versions the key encoding itself and is embedded in
+// every key's first byte).
+const fileVersion = 1
+
+// cacheFile is the persisted JSON form of a cache: a version stamp plus
+// one (fingerprint, latency) pair per completed entry.
+type cacheFile struct {
+	Version int         `json:"version"`
+	Entries []fileEntry `json:"entries"`
+}
+
+type fileEntry struct {
+	// Key is the canonical fingerprint, base64 (raw URL alphabet).
+	Key string `json:"key"`
+	// Latency is the cached simulator output in seconds.
+	Latency float64 `json:"latency"`
+}
+
+// Save writes every completed entry as JSON. In-flight entries are
+// skipped (their owners have not published a latency yet). The output is
+// deterministic in content but not in order.
+func (c *Cache) Save(w io.Writer) error {
+	out := cacheFile{Version: fileVersion}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.done.Load() {
+				out.Entries = append(out.Entries, fileEntry{
+					Key:     base64.RawURLEncoding.EncodeToString([]byte(k)),
+					Latency: e.lat,
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load merges a previously saved cache into c, returning how many entries
+// were added (already-present fingerprints are kept, not overwritten —
+// both sides hold the same oracle value by construction).
+//
+// Load is all-or-nothing: the whole file is parsed and validated before a
+// single entry is inserted, so a corrupt, truncated, or version-mismatched
+// file returns an error and leaves the cache exactly as it was — callers
+// fall back to a cold cache instead of half-poisoned state.
+func (c *Cache) Load(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("measure: read cache: %w", err)
+	}
+	var in cacheFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return 0, fmt.Errorf("measure: parse cache: %w", err)
+	}
+	if in.Version != fileVersion {
+		return 0, fmt.Errorf("measure: cache file version %d, want %d", in.Version, fileVersion)
+	}
+	keys := make([]string, len(in.Entries))
+	for i, e := range in.Entries {
+		raw, err := base64.RawURLEncoding.DecodeString(e.Key)
+		if err != nil {
+			return 0, fmt.Errorf("measure: cache entry %d: bad key: %w", i, err)
+		}
+		if len(raw) == 0 || raw[0] != KeyVersion {
+			return 0, fmt.Errorf("measure: cache entry %d: key encoding version mismatch (cache built by an incompatible version)", i)
+		}
+		if math.IsNaN(e.Latency) || math.IsInf(e.Latency, 0) || e.Latency < 0 {
+			return 0, fmt.Errorf("measure: cache entry %d: invalid latency %v", i, e.Latency)
+		}
+		keys[i] = string(raw)
+	}
+	added := 0
+	for i, e := range in.Entries {
+		if c.insert(keys[i], e.Latency) {
+			added++
+		}
+	}
+	c.loaded.Add(int64(added))
+	return added, nil
+}
+
+// SaveFile writes the cache to path (via a temp file + rename, so a crash
+// mid-save never truncates a previously good cache file).
+func (c *Cache) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".measure-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile merges the cache file at path into c; see Load.
+func (c *Cache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

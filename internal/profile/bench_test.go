@@ -1,0 +1,66 @@
+package profile
+
+import (
+	"testing"
+
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/models"
+	"ios/internal/schedule"
+)
+
+// benchStage builds a representative multi-group concurrent stage from the
+// Figure 2 block (three parallel convolutions).
+func benchStage(b *testing.B) schedule.Stage {
+	b.Helper()
+	g := models.Figure2Block(1)
+	m := map[string]*graph.Node{}
+	for _, n := range g.Nodes {
+		m[n.Name] = n
+	}
+	return schedule.Stage{Strategy: schedule.Concurrent,
+		Groups: [][]*graph.Node{{m["a"]}, {m["c"]}, {m["d"]}}}
+}
+
+// BenchmarkMeasureStageMemoHit times MeasureStage's memo hit path — the
+// per-stage cost MeasureSchedule pays on every stage after the first
+// measurement. The satellite fix replaced the fmt-based string key with
+// the canonical binary measurement key; this benchmark tracks the delta.
+func BenchmarkMeasureStageMemoHit(b *testing.B) {
+	st := benchStage(b)
+	p := New(gpusim.TeslaV100)
+	if _, err := p.MeasureStage(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MeasureStage(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureScheduleWarm times a full-network schedule measurement
+// with every stage already memoized (the serving tier's per-request
+// measurement cost on warm models).
+func BenchmarkMeasureScheduleWarm(b *testing.B) {
+	g := models.SqueezeNet(1)
+	var stages []schedule.Stage
+	for _, n := range g.SchedulableNodes() {
+		stages = append(stages, schedule.Stage{Strategy: schedule.Concurrent,
+			Groups: [][]*graph.Node{{n}}})
+	}
+	s := &schedule.Schedule{Graph: g, Stages: stages}
+	p := New(gpusim.TeslaV100)
+	if _, err := p.MeasureSchedule(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MeasureSchedule(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

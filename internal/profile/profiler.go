@@ -1,14 +1,14 @@
 package profile
 
 import (
-	"fmt"
+	"encoding/binary"
 	"math/rand"
 	"sort"
-	"strings"
 	"sync"
 
 	"ios/internal/gpusim"
 	"ios/internal/graph"
+	"ios/internal/measure"
 	"ios/internal/schedule"
 )
 
@@ -29,7 +29,23 @@ type Profiler struct {
 	// which a noise-free search pays once per profiler fork otherwise.
 	rng *rand.Rand
 
+	// cache memoizes MeasureStage by the stage's canonical binary
+	// measurement key (see measure.AppendStreams): structurally identical
+	// stages share one entry regardless of node identity or group order.
 	cache map[string]float64
+	// mcache, when non-nil, is a shared structural measurement cache
+	// consulted by every simulator invocation (stage and solo-duration
+	// measurements alike). Forks share the pointer, so all DP workers of
+	// one search — and, via Engine/serve wiring, all searches in a
+	// process — deduplicate against one table. Disabled while Noise > 0:
+	// noisy draws are per-measurement random, not pure stage functions.
+	mcache *measure.Cache
+	// ctxKey is the lazily built measurement-context key prefix (device
+	// model + dispatch overhead); keyBuf is reusable key scratch.
+	ctxKey []byte
+	keyBuf []byte
+	// soloStreams is the single-stream scratch for SoloDuration.
+	soloStreams [1]gpusim.Stream
 	// Lowering and solo durations are pure per (node, options) — nodes are
 	// immutable and options are fixed per profiler — so forks share them.
 	// Each is split into an immutable shared base (published by Fork, read
@@ -99,6 +115,33 @@ func (p *Profiler) Options() Options { return p.opts }
 // SetSeed reseeds the measurement-noise generator.
 func (p *Profiler) SetSeed(seed int64) { p.rng = rand.New(rand.NewSource(seed)) }
 
+// SetMeasureCache attaches a shared structural measurement cache: every
+// simulator invocation first consults (and on a miss fills) c, keyed by
+// the canonical fingerprint of the exact stream programs being executed
+// on this profiler's device model. Cached values are exact simulator
+// outputs, so results are bit-identical with or without the cache — only
+// Measurements drops. The cache is concurrency-safe and survives this
+// profiler: share one instance across profilers, searches, and servers to
+// amortize repeated structure (nil detaches). Forks inherit the cache.
+//
+// The cache is bypassed while Noise > 0: noisy measurements draw from the
+// profiler's RNG stream per invocation and are not pure stage functions.
+func (p *Profiler) SetMeasureCache(c *measure.Cache) { p.mcache = c }
+
+// MeasureCache returns the attached structural measurement cache (nil if
+// none).
+func (p *Profiler) MeasureCache() *measure.Cache { return p.mcache }
+
+// contextKey returns the measurement-context key prefix, building it on
+// first use (the backend spec and lowering options are fixed per
+// profiler, so the prefix is immutable and shared with forks).
+func (p *Profiler) contextKey() []byte {
+	if p.ctxKey == nil {
+		p.ctxKey = measure.Context(p.backend.Spec(), p.opts.ExtraLaunchOverhead)
+	}
+	return p.ctxKey
+}
+
 // rand returns the noise generator, seeding it on first use.
 func (p *Profiler) rand() *rand.Rand {
 	if p.rng == nil {
@@ -135,6 +178,8 @@ func (p *Profiler) Fork() *Profiler {
 		backend:     backend,
 		opts:        p.opts,
 		cache:       make(map[string]float64),
+		mcache:      p.mcache,
+		ctxKey:      p.ctxKey, // immutable once built; nil rebuilds lazily
 		baseLowered: base,
 		baseSolo:    baseSolo,
 		lowered:     make(map[int][]gpusim.Kernel),
@@ -181,33 +226,57 @@ func (p *Profiler) Prelower(nodes []*graph.Node) {
 	}
 }
 
-// stageKey builds a canonical cache key for a stage.
-func stageKey(st schedule.Stage) string {
-	var b strings.Builder
-	if st.Strategy == schedule.Merge {
-		b.WriteByte('M')
-	} else {
-		b.WriteByte('C')
-	}
-	ids := make([][]int, 0, len(st.Groups))
-	for _, g := range st.Groups {
-		gi := make([]int, len(g))
-		for i, n := range g {
-			gi[i] = n.ID
-		}
-		ids = append(ids, gi)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i][0] < ids[j][0] })
-	for _, gi := range ids {
-		b.WriteByte('|')
-		for i, id := range gi {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d", id)
+// canonicalStage returns the stage with its groups in canonical order —
+// ascending first-node ID, the order the DP engine measures and emits
+// stages in — so group order never affects a measurement key. The common
+// already-ordered case is detected without allocating; otherwise the
+// group slice (not the groups themselves) is copied, leaving the caller's
+// stage untouched.
+func canonicalStage(st schedule.Stage) schedule.Stage {
+	ordered := true
+	for i := 1; i < len(st.Groups); i++ {
+		if groupLess(st.Groups[i], st.Groups[i-1]) {
+			ordered = false
+			break
 		}
 	}
-	return b.String()
+	if ordered {
+		return st
+	}
+	groups := append([][]*graph.Node(nil), st.Groups...)
+	sort.Slice(groups, func(i, j int) bool { return groupLess(groups[i], groups[j]) })
+	st.Groups = groups
+	return st
+}
+
+// groupLess orders groups by their first node's ID (empty groups first).
+func groupLess(a, b []*graph.Node) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) < len(b)
+	}
+	return a[0].ID < b[0].ID
+}
+
+// stageMeasureKey builds the canonical measurement key for already
+// lowered stream programs into the profiler's reusable scratch; valid
+// until the next call.
+func (p *Profiler) stageMeasureKey(streams []gpusim.Stream) []byte {
+	p.keyBuf = measure.AppendStreams(append(p.keyBuf[:0], p.contextKey()...), streams)
+	return p.keyBuf
+}
+
+// StageFingerprint returns the stage's canonical measurement fingerprint:
+// the exact cache key its simulator invocation would use (device-model
+// context plus the lowered per-stream kernel signatures, group order
+// normalized). Two stages with equal fingerprints have bit-identical
+// measured latencies; node identity, names, and graph position do not
+// enter. The returned slice is freshly allocated.
+func (p *Profiler) StageFingerprint(st schedule.Stage) ([]byte, error) {
+	streams, err := p.stageStreamsPooled(canonicalStage(st))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), p.stageMeasureKey(streams)...), nil
 }
 
 // lowerNode returns the node's kernels through the shared-base/overlay
@@ -290,25 +359,58 @@ func (p *Profiler) StageStreams(st schedule.Stage) ([]gpusim.Stream, error) {
 }
 
 // MeasureStage returns the latency of one stage in seconds, including the
-// stage synchronization barrier. Results are memoized by stage content.
+// stage synchronization barrier. Results are memoized by the stage's
+// canonical measurement key — the lowered per-stream kernel signatures
+// with group order normalized — so structurally identical stages share
+// one entry regardless of node identity, and the key costs a binary
+// append into reusable scratch instead of the old per-call string build.
 func (p *Profiler) MeasureStage(st schedule.Stage) (float64, error) {
-	key := stageKey(st)
-	if v, ok := p.cache[key]; ok {
-		return v, nil
-	}
-	lat, err := p.MeasureStageUncached(st)
+	st = canonicalStage(st)
+	streams, err := p.stageStreamsPooled(st)
 	if err != nil {
 		return 0, err
 	}
-	p.cache[key] = lat
+	key := p.stageMeasureKey(streams)
+	if p.Noise > 0 {
+		// Noisy draws are per-measurement random, not pure stage
+		// functions: keep the memo at its historical node-identity
+		// granularity so structurally identical stages of different
+		// nodes still draw independent noise (ablation experiments
+		// depend on that variance).
+		key = appendStageIdentity(key, st)
+		p.keyBuf = key
+	}
+	if v, ok := p.cache[string(key)]; ok { // no-copy map lookup
+		return v, nil
+	}
+	lat := p.applyNoise(p.runOnce(streams))
+	p.cache[string(key)] = lat
 	return lat, nil
 }
 
+// appendStageIdentity appends the stage's node-identity structure
+// (strategy plus per-group node IDs) to a memo key; used only on the
+// noisy path, where structural sharing would collapse independent noise
+// draws.
+func appendStageIdentity(key []byte, st schedule.Stage) []byte {
+	key = append(key, byte(st.Strategy))
+	key = binary.AppendUvarint(key, uint64(len(st.Groups)))
+	for _, grp := range st.Groups {
+		key = binary.AppendUvarint(key, uint64(len(grp)))
+		for _, n := range grp {
+			key = binary.AppendUvarint(key, uint64(n.ID))
+		}
+	}
+	return key
+}
+
 // MeasureStageUncached measures a stage without consulting or filling the
-// content cache. The IOS dynamic program uses this path because it holds
-// its own per-block memo keyed by operator bitmask, which makes the string
-// cache pure overhead on the search's hot loop. Stream programs are built
-// in per-profiler scratch (the simulator does not retain them), so the
+// profiler's stage memo (the shared structural cache installed with
+// SetMeasureCache, if any, still applies at the simulator-invocation
+// level). The IOS dynamic program uses this path because it holds its own
+// per-block memo keyed by operator bitmask, which makes the stage memo
+// pure overhead on the search's hot loop. Stream programs are built in
+// per-profiler scratch (the simulator does not retain them), so the
 // search's hundreds of thousands of measurements produce no stream
 // garbage; use StageStreams to obtain streams a caller may keep.
 func (p *Profiler) MeasureStageUncached(st schedule.Stage) (float64, error) {
@@ -316,31 +418,69 @@ func (p *Profiler) MeasureStageUncached(st schedule.Stage) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	lat := p.runOnce(streams)
-	if p.Noise > 0 {
-		n := p.Repeats
-		if n < 1 {
-			n = 1
-		}
-		rng := p.rand()
-		draws := make([]float64, n)
-		for i := range draws {
-			eps := (rng.Float64()*2 - 1) * p.Noise
-			draws[i] = lat * (1 + eps)
-		}
-		sort.Float64s(draws)
-		lat = draws[n/2]
-	}
-	return lat, nil
+	return p.applyNoise(p.runOnce(streams)), nil
 }
 
+// applyNoise runs the median-of-k measurement-noise protocol on a clean
+// latency (identity when Noise is 0).
+func (p *Profiler) applyNoise(lat float64) float64 {
+	if p.Noise <= 0 {
+		return lat
+	}
+	n := p.Repeats
+	if n < 1 {
+		n = 1
+	}
+	rng := p.rand()
+	draws := make([]float64, n)
+	for i := range draws {
+		eps := (rng.Float64()*2 - 1) * p.Noise
+		draws[i] = lat * (1 + eps)
+	}
+	sort.Float64s(draws)
+	return draws[n/2]
+}
+
+// runOnce measures one stage execution: the stage barrier plus, for
+// non-empty programs, a (possibly cache-served) simulator run. An all-free
+// stage still counts as a measurement, as it always has.
 func (p *Profiler) runOnce(streams []gpusim.Stream) float64 {
-	p.Measurements++
-	spec := p.backend.Spec()
-	lat := spec.StageSync
-	if len(streams) > 0 {
-		res := p.backend.Run(p.applyExtraOverhead(streams))
-		lat += res.Latency
+	lat := p.backend.Spec().StageSync
+	if len(streams) == 0 {
+		p.Measurements++
+		return lat
+	}
+	return lat + p.runStreams(streams)
+}
+
+// runStreams executes stream programs on the backend (with framework
+// dispatch overhead applied), consulting the shared structural
+// measurement cache when one is attached: the canonical fingerprint of
+// the exact programs is looked up first, and only a miss claims the key
+// and invokes the simulator (counted in Measurements). Concurrent misses
+// for one fingerprint — e.g. two DP workers reaching the same repeated
+// cell structure — coalesce into a single simulation.
+func (p *Profiler) runStreams(streams []gpusim.Stream) float64 {
+	if p.mcache == nil || p.Noise > 0 {
+		p.Measurements++
+		return p.backend.Run(p.applyExtraOverhead(streams)).Latency
+	}
+	lat, claim := p.mcache.GetOrBegin(p.stageMeasureKey(streams))
+	if claim != nil {
+		// A panicking backend (gpusim rejects invalid kernels by panic)
+		// must not leave the claimed fingerprint locked forever for
+		// every future requester of a shared cache: abandon the claim so
+		// waiters retry and the key stays measurable.
+		committed := false
+		defer func() {
+			if !committed {
+				claim.Abandon()
+			}
+		}()
+		p.Measurements++
+		lat = p.backend.Run(p.applyExtraOverhead(streams)).Latency
+		claim.Commit(lat)
+		committed = true
 	}
 	return lat
 }
@@ -381,21 +521,7 @@ func (p *Profiler) MeasureSerialChain(nodes []*graph.Node) float64 {
 	for _, n := range nodes {
 		total += p.SoloDuration(n)
 	}
-	if p.Noise > 0 {
-		n := p.Repeats
-		if n < 1 {
-			n = 1
-		}
-		rng := p.rand()
-		draws := make([]float64, n)
-		for i := range draws {
-			eps := (rng.Float64()*2 - 1) * p.Noise
-			draws[i] = total * (1 + eps)
-		}
-		sort.Float64s(draws)
-		total = draws[n/2]
-	}
-	return total
+	return p.applyNoise(total)
 }
 
 // SoloDuration returns (and caches) one node's single-stream duration:
@@ -413,9 +539,11 @@ func (p *Profiler) SoloDuration(n *graph.Node) float64 {
 	kernels := p.lowerNode(n)
 	var d float64
 	if len(kernels) > 0 {
-		streams := p.applyExtraOverhead([]gpusim.Stream{gpusim.Stream(kernels)})
-		p.Measurements++
-		d = p.backend.Run(streams).Latency
+		// Through runStreams so the shared structural cache dedups solo
+		// simulations of structurally identical nodes (repeated cells)
+		// across blocks, forks, and searches.
+		p.soloStreams[0] = gpusim.Stream(kernels)
+		d = p.runStreams(p.soloStreams[:])
 	}
 	p.solo[n.ID] = d
 	return d

@@ -18,18 +18,32 @@ type Service struct {
 	root    *Profiler
 	workers []*Profiler
 	closed  bool
+	// rootIsWorker marks the single-worker fast path: the root profiler
+	// is driven directly instead of through a fork, so tiny blocks skip
+	// the fork's backend construction and table setup entirely (the
+	// SqueezeNet small-block overhead fix). Measurements then accrue on
+	// the root as they happen; Close folds nothing.
+	rootIsWorker bool
 }
 
 // NewService prepares the root profiler for the given nodes (lowering
 // each and computing its solo duration, counted on the root exactly as
 // lazy computation would have been) and forks `workers` worker profilers
-// that share the resulting immutable tables.
+// that share the resulting immutable tables. A single-worker service
+// skips the fork and hands out the root itself: the caller's one
+// goroutine drives it exactly as lazy sequential code would have.
 func NewService(root *Profiler, nodes []*graph.Node, workers int) *Service {
 	if workers < 1 {
 		workers = 1
 	}
 	root.Prelower(nodes)
-	s := &Service{root: root, workers: make([]*Profiler, workers)}
+	s := &Service{root: root}
+	if workers == 1 {
+		s.workers = []*Profiler{root}
+		s.rootIsWorker = true
+		return s
+	}
+	s.workers = make([]*Profiler, workers)
 	for i := range s.workers {
 		s.workers[i] = root.Fork()
 	}
@@ -55,6 +69,9 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	if s.rootIsWorker {
+		return // the root is the worker; its count is already in place
+	}
 	for _, w := range s.workers {
 		s.root.Measurements += w.Measurements
 	}

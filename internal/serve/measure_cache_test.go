@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ios/internal/measure"
+)
+
+// TestServerMeasureCacheSharedAcrossRequests: the structural measurement
+// cache deduplicates simulator work across endpoints — after /optimize
+// fills it, a /measure of the sequential baseline for the same model
+// reuses the search's stage simulations — and its counters surface in
+// /stats.
+func TestServerMeasureCacheSharedAcrossRequests(t *testing.T) {
+	mc := measure.NewCache()
+	s := NewServer(Config{Logf: t.Logf, MeasureCache: mc})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL+"/optimize", map[string]any{"model": "squeezenet"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/optimize status %d", resp.StatusCode)
+	}
+	afterOptimize := mc.Stats()
+	if afterOptimize.Misses == 0 {
+		t.Fatal("optimize filled nothing into the measurement cache")
+	}
+
+	// The sequential baseline's stages are single-operator chains whose
+	// stream programs the search already simulated: all hits, no misses.
+	resp, _ = postJSON(t, ts.URL+"/measure", map[string]any{"model": "squeezenet", "baseline": "sequential"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/measure status %d", resp.StatusCode)
+	}
+	afterMeasure := mc.Stats()
+	if afterMeasure.Misses != afterOptimize.Misses {
+		t.Errorf("baseline measurement re-simulated %d fingerprints the search already measured",
+			afterMeasure.Misses-afterOptimize.Misses)
+	}
+	if afterMeasure.Hits <= afterOptimize.Hits {
+		t.Error("baseline measurement produced no cache hits")
+	}
+
+	// /stats reports the same counters.
+	res, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeasureCache.Misses != afterMeasure.Misses || stats.MeasureCache.Hits < afterMeasure.Hits {
+		t.Errorf("/stats measure_cache %+v inconsistent with cache %+v", stats.MeasureCache, afterMeasure)
+	}
+	if stats.MeasureCache.Size == 0 {
+		t.Error("/stats reports an empty measurement cache after a search")
+	}
+}
+
+// TestServerMeasureCacheDefaultsToShared: servers without an explicit
+// cache share the process-wide instance.
+func TestServerMeasureCacheDefaultsToShared(t *testing.T) {
+	a, b := NewServer(Config{}), NewServer(Config{})
+	if a.MeasureCache() != b.MeasureCache() {
+		t.Fatal("two default servers use different measurement caches")
+	}
+	if a.MeasureCache() != SharedMeasureCache() {
+		t.Fatal("default server does not use the shared process-wide cache")
+	}
+	own := measure.NewCache()
+	c := NewServer(Config{MeasureCache: own})
+	if c.MeasureCache() != own {
+		t.Fatal("explicit Config.MeasureCache ignored")
+	}
+}
+
+// TestServerWarmRestartFromFile: a server loading a persisted cache
+// re-optimizes a model the previous process served without a single
+// simulator invocation — the warm-restart path of iosserve -measure-cache.
+func TestServerWarmRestartFromFile(t *testing.T) {
+	path := t.TempDir() + "/measure.json"
+
+	first := measure.NewCache()
+	s1 := NewServer(Config{MeasureCache: first})
+	ts1 := httptest.NewServer(s1)
+	resp, _ := postJSON(t, ts1.URL+"/optimize", map[string]any{"model": "fig2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/optimize status %d", resp.StatusCode)
+	}
+	ts1.Close()
+	if err := first.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	second := measure.NewCache()
+	if n, err := second.LoadFile(path); err != nil || n == 0 {
+		t.Fatalf("LoadFile: n=%d err=%v", n, err)
+	}
+	s2 := NewServer(Config{MeasureCache: second})
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	resp, body := postJSON(t, ts2.URL+"/optimize", map[string]any{"model": "fig2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted /optimize status %d", resp.StatusCode)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Search.Measurements != 0 {
+		t.Errorf("warm restart still ran %d simulator measurements", out.Search.Measurements)
+	}
+	if st := second.Stats(); st.Misses != 0 {
+		t.Errorf("warm restart missed the loaded cache %d times", st.Misses)
+	}
+}

@@ -15,10 +15,38 @@ import (
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/graph"
+	"ios/internal/measure"
 	"ios/internal/models"
 	"ios/internal/profile"
 	"ios/internal/schedule"
 )
+
+// DefaultMeasureCacheSize bounds the process-wide default measurement
+// cache. The serving tier measures arbitrary client-supplied graphs, so
+// an unbounded cache would grow monotonically for the life of the
+// daemon; this cap comfortably holds the full model zoo (a complete
+// NasNet-A search resides in ~117k fingerprints) while bounding memory.
+// Entries over capacity are shed and simply re-simulated on next use.
+const DefaultMeasureCacheSize = 1 << 18
+
+// sharedMeasureCache is the process-wide default structural measurement
+// cache: servers whose Config does not name one all share it, so every
+// optimization and measurement in the process — across servers, devices
+// (the fingerprint embeds the device model), and models — deduplicates
+// simulator work against a single table. Lazily built: a process that
+// configures explicit caches never allocates it.
+var (
+	sharedMeasureOnce  sync.Once
+	sharedMeasureCache *measure.Cache
+)
+
+// SharedMeasureCache returns the process-wide structural measurement
+// cache (bounded at DefaultMeasureCacheSize entries) used by servers
+// with no explicit Config.MeasureCache.
+func SharedMeasureCache() *measure.Cache {
+	sharedMeasureOnce.Do(func() { sharedMeasureCache = measure.NewCacheSize(DefaultMeasureCacheSize) })
+	return sharedMeasureCache
+}
 
 // DefaultCacheSize is the schedule-cache capacity a zero Config gets: big
 // enough for every zoo model at several batch sizes on several devices.
@@ -40,6 +68,13 @@ type Config struct {
 	// NewScheduleCache(DefaultCacheSize). Sharing one cache between
 	// servers shares their schedules.
 	Cache *ScheduleCache
+	// MeasureCache deduplicates simulator stage measurements by
+	// structural fingerprint across every request this server runs
+	// (searches on schedule-cache misses, baseline measurements, warm
+	// precomputation). nil selects the process-wide SharedMeasureCache,
+	// so all servers in a process amortize each other's work; results
+	// are bit-identical with or without it.
+	MeasureCache *measure.Cache
 	// Deadline, when positive, bounds each request's server-side
 	// processing time: the request context gets this timeout, an
 	// optimization that outlives it is cancelled (unless other live
@@ -61,10 +96,11 @@ type Config struct {
 // Every response is JSON; errors use {"error": "..."} with a 4xx/5xx
 // status. Server implements http.Handler and is safe for concurrent use.
 type Server struct {
-	cfg   Config
-	cache *ScheduleCache
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *ScheduleCache
+	measure *measure.Cache
+	mux     *http.ServeMux
+	start   time.Time
 
 	optimizeReqs  int64
 	measureReqs   int64
@@ -85,7 +121,11 @@ func NewServer(cfg Config) *Server {
 	if cache == nil {
 		cache = NewScheduleCache(DefaultCacheSize)
 	}
-	s := &Server{cfg: cfg, cache: cache, mux: http.NewServeMux(), start: time.Now()}
+	mc := cfg.MeasureCache
+	if mc == nil {
+		mc = SharedMeasureCache()
+	}
+	s := &Server{cfg: cfg, cache: cache, measure: mc, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/measure", s.handleMeasure)
 	s.mux.HandleFunc("/models", s.handleModels)
@@ -95,6 +135,19 @@ func NewServer(cfg Config) *Server {
 
 // Cache returns the server's schedule cache.
 func (s *Server) Cache() *ScheduleCache { return s.cache }
+
+// MeasureCache returns the server's structural measurement cache (the
+// process-wide shared instance unless Config named one).
+func (s *Server) MeasureCache() *measure.Cache { return s.measure }
+
+// newProfiler builds a profiler for a device with the server's shared
+// measurement cache attached, so every request's simulator work feeds and
+// draws from one process-wide table.
+func (s *Server) newProfiler(spec gpusim.Spec) *profile.Profiler {
+	p := profile.New(spec)
+	p.SetMeasureCache(s.measure)
+	return p
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -184,6 +237,9 @@ type StatsResponse struct {
 	UptimeS  float64          `json:"uptime_s"`
 	Requests map[string]int64 `json:"requests"`
 	Cache    CacheStats       `json:"cache"`
+	// MeasureCache reports the structural measurement cache: simulator
+	// invocations deduplicated across every request in the process.
+	MeasureCache measure.Stats `json:"measure_cache"`
 }
 
 // request resolution ---------------------------------------------------
@@ -282,7 +338,7 @@ func (s *Server) entry(ctx context.Context, res *resolved) (*Entry, bool, error)
 		if err != nil {
 			return nil, err
 		}
-		prof := profile.New(res.spec)
+		prof := s.newProfiler(res.spec)
 		out, err := core.OptimizeContext(ctx, g, prof, res.opts)
 		if err != nil {
 			return nil, err
@@ -483,7 +539,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	lat, err := profile.New(res.spec).MeasureSchedule(sched)
+	lat, err := s.newProfiler(res.spec).MeasureSchedule(sched)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -539,7 +595,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":     atomic.LoadInt64(&s.statsReqs),
 			"cancelled": atomic.LoadInt64(&s.cancelledReqs),
 		},
-		Cache: s.cache.Stats(),
+		Cache:        s.cache.Stats(),
+		MeasureCache: s.measure.Stats(),
 	})
 }
 

@@ -28,8 +28,9 @@
 //	fmt.Printf("latency %.3f ms over %d stages\n", lat*1e3, res.Schedule.NumStages())
 //
 // The Engine is the primary API: construct one per device with NewEngine
-// and functional options (WithWorkers, WithCache, WithProgress,
-// WithBackend, WithNoPruning), then call its context-aware methods. The
+// and functional options (WithWorkers, WithCache, WithMeasureCache,
+// WithProgress, WithBackend, WithNoPruning), then call its context-aware
+// methods. The
 // package-level Optimize/Measure/Throughput functions predate the Engine
 // and remain as deprecated wrappers over a fresh default Engine.
 package ios
