@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,17 +91,83 @@ func writeMeasureJSON(cfg expt.Config, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// specializeBaseline is the BENCH_specialize.json schema: environment
+// plus one cross-batch latency/penalty matrix per network.
+type specializeBaseline struct {
+	Device     string               `json:"device"`
+	Batches    []int                `json:"batches"`
+	Quick      bool                 `json:"quick"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Rows       []expt.SpecializeRow `json:"rows"`
+}
+
+// writeSpecializeJSON runs the batch-specialization sweep (experiment
+// "specialize") and writes the baseline file future PRs diff against,
+// failing if specialization ever loses: every column's minimum latency
+// must sit on the diagonal (the specialized schedule).
+func writeSpecializeJSON(cfg expt.Config, batches []int, path string) error {
+	rows, err := expt.SpecializeRows(cfg, batches)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if !r.DiagonalWins {
+			return fmt.Errorf("%s: a reused schedule beat the specialized one (search or measurement-consistency bug)", r.Network)
+		}
+	}
+	// Record the sweep as the rows actually ran it (sorted, deduplicated
+	// by the plan builder), not the raw flag value, so tooling indexing
+	// matrix columns by this field reads the right cells.
+	batches = rows[0].Batches
+	out := specializeBaseline{
+		Device:     cfg.Device.Name,
+		Batches:    batches,
+		Quick:      cfg.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseBatches parses the -batches sweep ("" = the experiment default).
+func parseBatches(v string) ([]int, error) {
+	if v == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad batch size %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty batch list")
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		expFlag     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		deviceFlag  = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
-		batchFlag   = flag.Int("batch", 1, "batch size where applicable")
-		quickFlag   = flag.Bool("quick", false, "use reduced models for a fast smoke run")
-		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		rFlag       = flag.Int("r", 3, "pruning: max operators per group")
-		sFlag       = flag.Int("s", 8, "pruning: max groups per stage")
-		searchJSON  = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
-		measureJSON = flag.String("measure-json", "", "write the measurement-cache rows (experiment \"measure-cache\": hits, misses, measurements saved) as JSON to this file and exit")
+		expFlag        = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		deviceFlag     = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
+		batchFlag      = flag.Int("batch", 1, "batch size where applicable")
+		batchesFlag    = flag.String("batches", "", "comma-separated batch sweep for -specialize-json (default: the paper's Table 3 set, 1,32,128)")
+		quickFlag      = flag.Bool("quick", false, "use reduced models for a fast smoke run")
+		listFlag       = flag.Bool("list", false, "list experiment ids and exit")
+		rFlag          = flag.Int("r", 3, "pruning: max operators per group")
+		sFlag          = flag.Int("s", 8, "pruning: max groups per stage")
+		searchJSON     = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
+		measureJSON    = flag.String("measure-json", "", "write the measurement-cache rows (experiment \"measure-cache\": hits, misses, measurements saved) as JSON to this file and exit")
+		specializeJSON = flag.String("specialize-json", "", "write the batch-specialization rows (experiment \"specialize\": cross-batch latency and penalty matrices) as JSON to this file and exit; fails if any column's minimum leaves the diagonal")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -138,6 +205,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote measurement-cache baseline to %s\n", *measureJSON)
+		return
+	}
+	if *specializeJSON != "" {
+		batches, err := parseBatches(*batchesFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -batches: %v\n", err)
+			os.Exit(2)
+		}
+		if err := writeSpecializeJSON(cfg, batches, *specializeJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -specialize-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote batch-specialization baseline to %s\n", *specializeJSON)
 		return
 	}
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"ios/internal/graph"
 	"ios/internal/measure"
 	"ios/internal/models"
+	"ios/internal/plan"
 	"ios/internal/profile"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		graphFlag  = flag.String("graph", "", "path to a graph JSON file")
 		modelFlag  = flag.String("model", "", "zoo model: "+strings.Join(models.ZooNames(), ", "))
 		batchFlag  = flag.Int("batch", 1, "batch size (zoo models)")
+		batchesStr = flag.String("batches", "", "comma-separated batch sizes: build a batch-specialization plan instead of a single schedule (one specialized search per batch under a shared measurement cache, plus the measured cross-batch penalty matrix); prints the matrices on stderr and emits the plan JSON on stdout or -o")
 		deviceFlag = flag.String("device", "v100", "device: v100, k80, 2080ti, 1080, 980ti, a100")
 		outFlag    = flag.String("o", "", "output schedule path (default stdout)")
 		rFlag      = flag.Int("r", 3, "pruning: max operators per group")
@@ -107,6 +110,58 @@ func main() {
 		st := mcache.Stats()
 		fmt.Fprintf(os.Stderr, "iosopt: measure cache: %d entries saved to %s (%d simulator runs avoided)\n",
 			st.Size, *mcacheFile, st.Saved())
+	}
+
+	if *batchesStr != "" {
+		batches, err := parseBatches(*batchesStr)
+		if err != nil {
+			fatal(fmt.Errorf("-batches: %w", err))
+		}
+		// The sweep always shares one measurement cache across its
+		// searches and cross-measurements (forks share the pointer);
+		// without -measure-cache it is sweep-local instead of persisted.
+		if mcache == nil {
+			prof.SetMeasureCache(measure.NewCache())
+		}
+		p, err := plan.Build(ctx, plan.BuildConfig{
+			Graph:       g,
+			Batches:     batches,
+			Device:      spec.Name,
+			Opts:        opts,
+			Workers:     *workers,
+			NewProfiler: prof.Fork, // forks share the -measure-cache table
+			Progress:    progressFn,
+		})
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			saveMeasureCache()
+			if errors.Is(err, context.Canceled) {
+				fatal(fmt.Errorf("interrupted; sweep cancelled cleanly"))
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("timed out after %v; sweep cancelled cleanly", *timeout))
+			}
+			fatal(err)
+		}
+		for _, pt := range p.Points {
+			fmt.Fprintf(os.Stderr, "iosopt: batch %d: %d stages, %.3f ms\n",
+				pt.Batch, pt.Schedule.NumStages(), 1e3*pt.Latency)
+		}
+		p.Render(os.Stderr)
+		saveMeasureCache()
+		if *outFlag == "" {
+			if err := p.Save(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := p.SaveFile(*outFlag); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "iosopt: plan saved to %s\n", *outFlag)
+		return
 	}
 
 	res, err := core.OptimizeWithProgress(ctx, g, prof, opts, progressFn)
@@ -189,6 +244,25 @@ func loadGraph(path, model string, batch int) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("pass -graph FILE or -model NAME")
 	}
+}
+
+// parseBatches parses the -batches sweep list.
+func parseBatches(v string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad batch size %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty batch list")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

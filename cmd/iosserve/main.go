@@ -49,6 +49,7 @@ func main() {
 		cacheFlag  = flag.Int("cache", serve.DefaultCacheSize, "schedule-cache capacity in entries (0 = unbounded)")
 		warmFlag   = flag.String("warm", "", "comma-separated zoo models to precompute on start (\"paper\" = the four benchmarks)")
 		warmBatch  = flag.String("warm-batch", "1", "comma-separated batch sizes for -warm")
+		planBatch  = flag.String("plan-batches", "", "comma-separated batch sizes: build a batch-specialization plan for each -warm model on start (specialized schedule per batch + measured cross-batch penalty matrix), superseding the plain -warm-batch warm-up for those models; /optimize then serves planned batches from the plan and routes unplanned batches to the nearest specialized schedule (penalties in GET /stats, matrices in GET /plans)")
 		rFlag      = flag.Int("r", 3, "default pruning: max operators per group")
 		sFlag      = flag.Int("s", 8, "default pruning: max groups per stage")
 		strategy   = flag.String("strategy", "both", "default strategy set: both, parallel, merge")
@@ -127,7 +128,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *warmFlag != "" {
+	// Plan warm-up supersedes plain warming: a registered plan shadows the
+	// schedule cache for its models at EVERY batch size, so running both
+	// would spend full searches on cache entries plan routing never reads.
+	switch {
+	case *planBatch != "":
+		if *warmFlag == "" {
+			fatal(fmt.Errorf("-plan-batches needs -warm to name the models to plan (\"paper\" = the four benchmarks)"))
+		}
+		names, err := warmList(*warmFlag)
+		if err != nil {
+			fatal(err)
+		}
+		batches, err := intList(*planBatch)
+		if err != nil {
+			fatal(fmt.Errorf("-plan-batches: %w", err))
+		}
+		log.Printf("iosserve: building batch plans at %v on %s (plan routing supersedes -warm-batch for these models)", batches, spec.Name)
+		if err := srv.WarmPlans(ctx, names, batches); err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("iosserve: plan warm-up interrupted, exiting")
+				saveMeasureCache()
+				return
+			}
+			fail(err)
+		}
+	case *warmFlag != "":
 		names, err := warmList(*warmFlag)
 		if err != nil {
 			fatal(err)

@@ -8,6 +8,7 @@ import (
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/measure"
+	"ios/internal/plan"
 	"ios/internal/profile"
 	"ios/internal/schedule"
 	"ios/internal/serve"
@@ -296,11 +297,52 @@ func rebindSchedule(g *Graph, s *Schedule) *Schedule {
 	return &schedule.Schedule{Graph: g, Stages: stages}
 }
 
+// OptimizeBatches runs a batch-specialization sweep under ctx: one IOS
+// search per batch size (the graph is rebuilt per batch with
+// Graph.WithBatch; sweep points run concurrently, splitting the engine's
+// worker budget between their DP engines), then the measured cross-batch
+// latency matrix — every specialized schedule transferred onto every
+// other batch's graph, reproducing the shape of the paper's Table 3. The
+// whole sweep shares one structural measurement cache (the engine's own
+// when configured with WithMeasureCache, otherwise a sweep-local one), so
+// structure repeated across batches and cross-measurements is simulated
+// once.
+//
+// The resulting BatchPlan answers both planning questions: which schedule
+// to serve at a batch (Route, used by the serving tier's nearest-batch
+// routing) and what reusing a schedule off its planned batch costs
+// (Penalty/EstimatePenalty). Plans persist with BatchPlan.Save/SaveFile
+// and reload with LoadBatchPlan.
+func (e *Engine) OptimizeBatches(ctx context.Context, g *Graph, batches []int) (*BatchPlan, error) {
+	opts := e.fillDefaults(Options{})
+	root := e.prof
+	if e.mcache == nil {
+		// Give the sweep a private shared cache: every profiler below is a
+		// fork of root and forks share the cache pointer.
+		root = e.prof.Fork()
+		root.SetMeasureCache(measure.NewCache())
+	}
+	return plan.Build(ctx, plan.BuildConfig{
+		Graph:       g,
+		Batches:     batches,
+		Device:      e.backend.Spec().Name,
+		Opts:        opts,
+		Workers:     e.workers,
+		NewProfiler: root.Fork,
+		Progress:    e.progress,
+	})
+}
+
 // Measure returns the end-to-end latency in seconds of executing the
 // schedule on the engine's device, checking ctx between stages. Unlike
 // the deprecated package-level Measure, a schedule built for a different
 // graph is not silently re-wrapped: every stage must reference nodes of
-// g, or Measure fails with a descriptive error.
+// g, or Measure fails with a descriptive error. In particular a schedule
+// optimized at a different batch size is rejected with an error naming
+// both batches — schedules are batch-specialized (Table 3), so measuring
+// one at a foreign batch is almost always a serving bug; use
+// OptimizeBatches and BatchPlan routing to serve other batch sizes
+// deliberately.
 func (e *Engine) Measure(ctx context.Context, g *Graph, s *Schedule) (float64, error) {
 	s, err := adoptSchedule(g, s)
 	if err != nil {
@@ -336,10 +378,20 @@ func (e *Engine) Throughput(ctx context.Context, g *Graph, s *Schedule) (float64
 
 // adoptSchedule returns a schedule bound to g, verifying — rather than
 // assuming — that the stages reference g's own nodes when the schedule
-// was built against a different Schedule.Graph value.
+// was built against a different Schedule.Graph value. The cross-batch
+// case gets its own diagnosis: node-identity checks alone would report a
+// generic "different graph" for a schedule optimized at another batch
+// size of the same architecture, hiding the actual mistake.
 func adoptSchedule(g *Graph, s *Schedule) (*Schedule, error) {
 	if s.Graph == g {
 		return s, nil
+	}
+	if s.Graph != nil {
+		if sb, gb := s.Graph.Batch(), g.Batch(); sb != gb {
+			return nil, fmt.Errorf(
+				"ios: schedule was optimized at batch %d but graph %q is built at batch %d (schedules are batch-specialized; optimize per batch — see Engine.OptimizeBatches — instead of reusing one across batches)",
+				sb, g.Name, gb)
+		}
 	}
 	for si, st := range s.Stages {
 		for _, grp := range st.Groups {

@@ -1,71 +1,61 @@
 // Batch specialization: Section 7.2's study on the last block of Inception
-// V3. The schedule IOS finds for batch 1 maximizes concurrency; the batch
-// 32 schedule merges the 1x3/3x1 convolution pair and uses more stages.
-// Executing each schedule at the other batch size shows why the paper
-// specializes schedules per workload (Table 3).
+// V3, driven by the batch-plan subsystem. Engine.OptimizeBatches runs one
+// IOS search per batch size (concurrently, sharing one measurement cache)
+// and measures the full cross-batch matrix; the plan then answers routing
+// questions — which schedule should serve batch 7? at what penalty? —
+// exactly the way the serving tier (iosserve -plan-batches) does.
 //
 //	go run ./examples/batch_specialization
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ios"
-	"ios/internal/models"
-	"ios/internal/profile"
-	"ios/internal/schedule"
 )
 
 func main() {
-	batches := []int{1, 32}
-	scheds := map[int]*ios.Schedule{}
-	for _, b := range batches {
-		g := models.InceptionE(b)
-		res, err := ios.Optimize(g, ios.V100, ios.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		scheds[b] = res.Schedule
-		merges := 0
-		for _, st := range res.Schedule.Stages {
-			if st.Strategy == schedule.Merge {
-				merges++
-			}
-		}
-		fmt.Printf("optimized for batch %d: %d stages, %d merge stages\n",
-			b, res.Schedule.NumStages(), merges)
-		fmt.Print(res.Schedule)
-		fmt.Println()
-	}
+	ctx := context.Background()
+	eng := ios.NewEngine(ios.V100)
+	g := ios.InceptionE(1)
 
+	plan, err := eng.OptimizeBatches(ctx, g, []int{1, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range plan.Points {
+		fmt.Printf("optimized for batch %d: %d stages, %.3f ms\n",
+			pt.Batch, pt.Schedule.NumStages(), 1e3*pt.Latency)
+	}
+	fmt.Println()
+
+	// The measured cross-batch matrix (the paper's Table 3 shape): the
+	// diagonal should win every column.
 	fmt.Println("cross-execution latency (ms):")
-	fmt.Printf("%-18s %12s %12s\n", "execute \\ opt for", "batch 1", "batch 32")
-	for _, execB := range batches {
+	fmt.Printf("%-18s", "execute \\ opt for")
+	for _, b := range plan.Batches() {
+		fmt.Printf(" %12s", fmt.Sprintf("batch %d", b))
+	}
+	fmt.Println()
+	for j, execB := range plan.Batches() {
 		fmt.Printf("batch %-12d", execB)
-		for _, optB := range batches {
-			lat, err := rebatch(scheds[optB], execB)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(" %12.3f", lat*1e3)
+		for i := range plan.Batches() {
+			fmt.Printf(" %12.3f", 1e3*plan.Latency[i][j])
 		}
 		fmt.Println()
 	}
-	fmt.Println("(the diagonal should win: specialization matters)")
-}
+	if err := plan.DiagonalWins(); err != nil {
+		log.Fatalf("specialization property violated: %v", err)
+	}
+	fmt.Println("(the diagonal wins: specialization matters)")
+	fmt.Println()
 
-// rebatch transfers a schedule onto the same block at another batch size
-// by node name and measures it on the V100 model.
-func rebatch(s *ios.Schedule, batch int) (float64, error) {
-	g := models.InceptionE(batch)
-	data, err := s.MarshalJSON()
-	if err != nil {
-		return 0, err
+	// Nearest-batch routing, as the serving tier performs it.
+	for _, b := range []int{1, 7, 32, 64} {
+		pt, penalty, exact := plan.Route(b)
+		fmt.Printf("serve batch %-3d -> schedule specialized at batch %-3d (exact=%v, penalty %.3f)\n",
+			b, pt.Batch, exact, penalty)
 	}
-	moved, err := schedule.FromJSON(data, g)
-	if err != nil {
-		return 0, err
-	}
-	return profile.New(ios.V100).MeasureSchedule(moved)
 }

@@ -167,3 +167,39 @@ func TestLatencyOfUnknownPolicy(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+func TestQuickSpecializeRows(t *testing.T) {
+	rows, err := SpecializeRows(quickCfg(), []int{1, 2})
+	if err != nil {
+		t.Fatalf("SpecializeRows: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("quick specialize rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if len(r.Batches) != 2 || len(r.LatencyMS) != 2 || len(r.Penalty) != 2 {
+		t.Fatalf("row shape wrong: %+v", r)
+	}
+	if !r.DiagonalWins {
+		t.Error("specialized schedule lost to a reused one")
+	}
+	for i := range r.Batches {
+		if r.Penalty[i][i] != 1 {
+			t.Errorf("penalty diagonal [%d][%d] = %v, want 1", i, i, r.Penalty[i][i])
+		}
+		for j := range r.Batches {
+			if r.LatencyMS[i][j] <= 0 {
+				t.Errorf("latency_ms[%d][%d] = %v", i, j, r.LatencyMS[i][j])
+			}
+		}
+	}
+}
+
+func TestQuickSpecializeExperiment(t *testing.T) {
+	out := runExpt(t, "specialize", quickCfg())
+	for _, want := range []string{"Batch specialization", "diagonal wins every column: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("specialize output missing %q:\n%s", want, out)
+		}
+	}
+}

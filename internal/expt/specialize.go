@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"ios/internal/measure"
+	"ios/internal/models"
+	"ios/internal/plan"
+	"ios/internal/profile"
+	"ios/internal/report"
+)
+
+// SpecializeRow is one batch-specialization record (experiment
+// "specialize"): a network's full cross-batch latency and penalty
+// matrices — the schedule specialized at batch i measured at batch j,
+// the shape of the paper's Table 3 — produced by the internal/plan sweep
+// (concurrent per-batch searches sharing one structural measurement
+// cache). DiagonalWins asserts the paper's headline property: in every
+// column (execution batch), the specialized schedule is at least as fast
+// as any reused one. cmd/iosbench serializes these as
+// BENCH_specialize.json so successive PRs have a specialization baseline
+// to diff against.
+type SpecializeRow struct {
+	Network string `json:"network"`
+	Ops     int    `json:"ops"`
+	Batches []int  `json:"batches"`
+	// LatencyMS[i][j] is the latency (ms) of the schedule optimized for
+	// Batches[i] executed at Batches[j]; Penalty[i][j] divides it by the
+	// column's specialized (diagonal) latency.
+	LatencyMS [][]float64 `json:"latency_ms"`
+	Penalty   [][]float64 `json:"penalty"`
+	// DiagonalWins reports that every column's minimum sits on the
+	// diagonal (it must always be true; false indicates either a search
+	// or a measurement-consistency bug).
+	DiagonalWins bool `json:"diagonal_wins"`
+}
+
+// specializeNets returns the networks the specialization study sweeps:
+// the paper's Table 3 subject (Inception V3) plus NasNet-A, whose deeply
+// repeated cells make it the most specialization-sensitive benchmark;
+// Quick mode keeps only the Inception E block.
+func specializeNets(c Config) (names []string, builders []models.Builder) {
+	if c.Quick {
+		return []string{"Inception E block"}, []models.Builder{models.InceptionE}
+	}
+	return []string{"Inception V3", "NasNet-A"}, []models.Builder{models.InceptionV3, models.NasNetA}
+}
+
+// SpecializeRows runs the cross-batch specialization sweep. An empty
+// batches slice selects the paper's Table 3 set (1, 32, 128).
+func SpecializeRows(c Config, batches []int) ([]SpecializeRow, error) {
+	c = c.withDefaults()
+	if len(batches) == 0 {
+		batches = append([]int(nil), Table3Batches...)
+	}
+	names, builders := specializeNets(c)
+	var rows []SpecializeRow
+	for k, build := range builders {
+		// One measurement cache per network: every per-batch search and
+		// every cross-measurement of the sweep deduplicates against it.
+		root := profile.New(c.Device)
+		root.SetMeasureCache(measure.NewCache())
+		p, err := plan.Build(context.Background(), plan.BuildConfig{
+			Graph:       build(1),
+			Batches:     batches,
+			Device:      c.Device.Name,
+			Opts:        c.Opts,
+			Workers:     c.Opts.Workers,
+			NewProfiler: root.Fork,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: specialize %s: %w", names[k], err)
+		}
+		n := len(p.Points)
+		row := SpecializeRow{
+			Network:      names[k],
+			Ops:          len(p.Points[0].Graph.SchedulableNodes()),
+			Batches:      p.Batches(),
+			LatencyMS:    make([][]float64, n),
+			Penalty:      make([][]float64, n),
+			DiagonalWins: p.DiagonalWins() == nil,
+		}
+		for i := 0; i < n; i++ {
+			row.LatencyMS[i] = make([]float64, n)
+			row.Penalty[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				row.LatencyMS[i][j] = 1e3 * p.Latency[i][j]
+				row.Penalty[i][j] = p.Penalty(i, j)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Specialize renders the SpecializeRows tables (experiment id
+// "specialize") at the paper's Table 3 batch set.
+func Specialize(c Config, w io.Writer) error {
+	rows, err := SpecializeRows(c, nil)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		head := []string{"optimized \\ executed at"}
+		for _, b := range r.Batches {
+			head = append(head, fmt.Sprintf("b%d", b))
+		}
+		t := report.NewTable(fmt.Sprintf("Batch specialization, %s on %s (latency ms)",
+			r.Network, c.withDefaults().Device.Name), head...)
+		for i, b := range r.Batches {
+			cells := []interface{}{fmt.Sprintf("batch %d", b)}
+			for j := range r.Batches {
+				cells = append(cells, r.LatencyMS[i][j])
+			}
+			t.AddRow(cells...)
+		}
+		t.Render(w)
+		fmt.Fprintf(w, "(diagonal wins every column: %v)\n\n", r.DiagonalWins)
+	}
+	return nil
+}

@@ -280,6 +280,26 @@ func (g *Graph) Identity(name string, in *Node) *Node {
 // were deserialized or mutated by tests.
 func (g *Graph) Validate() error {
 	seen := make(map[string]bool, len(g.Nodes))
+	// All inputs must agree on the batch dimension: Batch() (and every
+	// consumer keying on it — serve caches, batch plans) reads the first
+	// input, so a graph whose inputs disagree would be silently mis-keyed.
+	firstInput := -1
+	for i, n := range g.Nodes {
+		if n.Op.Kind != OpInput {
+			continue
+		}
+		if n.Output.N < 1 {
+			return fmt.Errorf("graph %q: input %q has non-positive batch %d", g.Name, n.Name, n.Output.N)
+		}
+		if firstInput < 0 {
+			firstInput = i
+			continue
+		}
+		if want := g.Nodes[firstInput]; n.Output.N != want.Output.N {
+			return fmt.Errorf("graph %q: input %q batch %d conflicts with input %q batch %d (all inputs must share one batch size)",
+				g.Name, n.Name, n.Output.N, want.Name, want.Output.N)
+		}
+	}
 	for i, n := range g.Nodes {
 		if n.ID != i {
 			return fmt.Errorf("graph %q: node %q has ID %d at position %d", g.Name, n.Name, n.ID, i)
@@ -319,8 +339,13 @@ func (g *Graph) Validate() error {
 
 // WithBatch returns a structurally identical graph whose input batch
 // dimension is n. Schedules are batch-specific in IOS (Table 3), so
-// experiments rebuild graphs per batch size.
-func (g *Graph) WithBatch(n int) *Graph {
+// experiments and batch plans rebuild graphs per batch size. A batch
+// size below 1 is rejected with an error (it used to slip through and
+// panic later inside shape computation).
+func (g *Graph) WithBatch(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph %q: batch size must be >= 1, got %d", g.Name, n)
+	}
 	out := New(g.Name)
 	clone := make([]*Node, len(g.Nodes))
 	for i, node := range g.Nodes {
@@ -335,7 +360,7 @@ func (g *Graph) WithBatch(n int) *Graph {
 		clone[i] = out.add(node.Name, node.Op, ins, out.mustShape(node.Name, node.Op, ins))
 	}
 	out.cuts = append([]int(nil), g.cuts...)
-	return out
+	return out, nil
 }
 
 // Stats summarizes a graph for reporting (Table 2 and Figure 1).
@@ -376,7 +401,9 @@ func (g *Graph) ComputeStats() Stats {
 // Batch returns the graph's input batch size: the N dimension of the
 // first input node, or 1 for a graph without inputs. Schedules are
 // specialized per batch size in IOS (Table 3), so serving layers key on
-// this value.
+// this value; Validate (and therefore FromJSON) rejects graphs whose
+// inputs disagree on the batch dimension, so for validated graphs the
+// first input speaks for all of them.
 func (g *Graph) Batch() int {
 	for _, n := range g.Nodes {
 		if n.Op.Kind == OpInput {

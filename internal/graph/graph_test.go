@@ -115,7 +115,10 @@ func TestShapeMismatchPanics(t *testing.T) {
 
 func TestWithBatch(t *testing.T) {
 	g := small(t)
-	g32 := g.WithBatch(32)
+	g32, err := g.WithBatch(32)
+	if err != nil {
+		t.Fatalf("WithBatch: %v", err)
+	}
 	if err := g32.Validate(); err != nil {
 		t.Fatalf("WithBatch Validate: %v", err)
 	}
@@ -203,5 +206,61 @@ func TestValidateCatchesBrokenGraphs(t *testing.T) {
 	g.NodeByName("c0").Output.C = 999
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted corrupted shape")
+	}
+}
+
+func TestWithBatchInvalid(t *testing.T) {
+	g := small(t)
+	for _, n := range []int{0, -1, -32} {
+		if _, err := g.WithBatch(n); err == nil {
+			t.Errorf("WithBatch(%d) = nil error, want rejection", n)
+		}
+	}
+}
+
+func TestValidateInputBatchMismatch(t *testing.T) {
+	g := New("twin")
+	a := g.Input("a", Shape{2, 3, 8, 8})
+	b := g.Input("b", Shape{4, 3, 8, 8})
+	g.Conv("ca", a, ConvOpts{Out: 3})
+	g.Conv("cb", b, ConvOpts{Out: 3})
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted inputs with conflicting batch dims")
+	}
+	for _, want := range []string{"\"a\"", "\"b\"", "2", "4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	// The shared error path also guards FromJSON (it calls Validate), so
+	// a serialized multi-input graph with inconsistent batches is
+	// rejected instead of mis-keying serving caches on the first input.
+	consistent := New("twin")
+	a2 := consistent.Input("a", Shape{2, 3, 8, 8})
+	b2 := consistent.Input("b", Shape{2, 3, 8, 8})
+	consistent.Conv("ca", a2, ConvOpts{Out: 3})
+	consistent.Conv("cb", b2, ConvOpts{Out: 3})
+	if err := consistent.Validate(); err != nil {
+		t.Fatalf("consistent twin-input graph rejected: %v", err)
+	}
+	data, err := consistent.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), "[\n        2,\n        3,\n        8,\n        8\n      ]", "[\n        4,\n        3,\n        8,\n        8\n      ]", 1)
+	if mangled == string(data) {
+		t.Fatal("test setup: shape replacement did not apply")
+	}
+	if _, err := FromJSON([]byte(mangled)); err == nil {
+		t.Error("FromJSON accepted a graph with conflicting input batches")
+	}
+}
+
+func TestValidateNonPositiveInputBatch(t *testing.T) {
+	g := New("zero")
+	g.Input("in", Shape{0, 3, 8, 8})
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted an input with batch 0")
 	}
 }

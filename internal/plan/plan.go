@@ -1,0 +1,471 @@
+// Package plan is the batch-specialization subsystem: it turns the
+// paper's Table 3 observation — a schedule tuned for one batch size loses
+// real throughput when reused at another — into a first-class serving
+// artifact. A Plan holds one specialized schedule per batch size of a
+// sweep, together with the measured cross-batch latency matrix (schedule
+// specialized at batch i, executed at batch j), so a serving tier can
+// route a request at an unplanned batch to the nearest specialized
+// schedule and report the measured penalty of that reuse instead of a
+// guess. Build runs the sweep (concurrent searches sharing one
+// measurement cache under a worker budget); Save/Load persist plans as
+// JSON for warm restarts.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ios/internal/core"
+	"ios/internal/graph"
+	"ios/internal/profile"
+	"ios/internal/report"
+	"ios/internal/schedule"
+)
+
+// Point is one sweep point of a Plan: the graph instantiated at a batch
+// size and the schedule specialized for it.
+type Point struct {
+	// Batch is the input batch size this point specializes.
+	Batch int
+	// Graph is the computation graph at Batch.
+	Graph *graph.Graph
+	// Schedule is the IOS schedule optimized at Batch (bound to Graph).
+	Schedule *schedule.Schedule
+	// Latency is the schedule's measured latency at its own batch size in
+	// seconds — the diagonal of the plan's latency matrix.
+	Latency float64
+}
+
+// Plan is a batch-specialization plan: specialized schedules for an
+// ascending sweep of batch sizes plus the measured cross-batch latency
+// matrix, reproducing the shape of the paper's Table 3 for one (model,
+// device, options) configuration.
+type Plan struct {
+	// Model names the planned graph (Graph.Name, or the zoo's canonical
+	// model name when built by the serving tier).
+	Model string
+	// Device is the canonical device name the sweep measured on.
+	Device string
+	// Opts is the search-options fingerprint (core.Options.Fingerprint)
+	// every point was optimized under.
+	Opts string
+	// Points are the sweep points in ascending Batch order.
+	Points []Point
+	// Latency is the cross-batch matrix: Latency[i][j] is the latency in
+	// seconds of Points[i].Schedule transferred (by node name) onto the
+	// graph at Points[j].Batch. The diagonal is the specialized latency;
+	// off-diagonal entries measure the cost of reusing a schedule at a
+	// batch it was not tuned for.
+	Latency [][]float64
+}
+
+// Batches returns the planned batch sizes in ascending order.
+func (p *Plan) Batches() []int {
+	out := make([]int, len(p.Points))
+	for i, pt := range p.Points {
+		out[i] = pt.Batch
+	}
+	return out
+}
+
+// Index returns the point index holding exactly batch, or -1.
+func (p *Plan) Index(batch int) int {
+	for i, pt := range p.Points {
+		if pt.Batch == batch {
+			return i
+		}
+	}
+	return -1
+}
+
+// Nearest returns the index of the point whose batch is closest to batch;
+// ties prefer the smaller planned batch (deterministic routing). The plan
+// must have at least one point.
+func (p *Plan) Nearest(batch int) int {
+	best, bestDist := 0, math.MaxInt
+	for i, pt := range p.Points {
+		d := pt.Batch - batch
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Penalty returns the measured reuse penalty Latency[i][j] / Latency[j][j]:
+// how much slower point i's schedule runs at batch j than the schedule
+// specialized for j. The diagonal is 1 by construction.
+func (p *Plan) Penalty(i, j int) float64 {
+	if p.Latency[j][j] == 0 {
+		return 1
+	}
+	return p.Latency[i][j] / p.Latency[j][j]
+}
+
+// EstimatePenalty estimates the penalty of serving batch with point i's
+// schedule. At a planned batch it equals Penalty(i, ·) exactly; between
+// planned batches both the point's latency row and the specialized
+// diagonal are linearly interpolated over batch size and the estimate is
+// their ratio; outside the planned range the nearest measured value is
+// used (constant extrapolation). The estimate derives entirely from the
+// plan's measured matrix — no simulation happens.
+func (p *Plan) EstimatePenalty(i int, batch int) float64 {
+	row := func(j int) float64 { return p.Latency[i][j] }
+	diag := func(j int) float64 { return p.Latency[j][j] }
+	lat := p.interp(row, batch)
+	spec := p.interp(diag, batch)
+	if spec == 0 {
+		return 1
+	}
+	return lat / spec
+}
+
+// interp linearly interpolates a per-point value over batch size,
+// clamping outside the planned range.
+func (p *Plan) interp(val func(int) float64, batch int) float64 {
+	n := len(p.Points)
+	if batch <= p.Points[0].Batch {
+		return val(0)
+	}
+	if batch >= p.Points[n-1].Batch {
+		return val(n - 1)
+	}
+	hi := sort.Search(n, func(j int) bool { return p.Points[j].Batch >= batch })
+	lo := hi - 1
+	b0, b1 := p.Points[lo].Batch, p.Points[hi].Batch
+	t := float64(batch-b0) / float64(b1-b0)
+	return val(lo)*(1-t) + val(hi)*t
+}
+
+// Route resolves a requested batch size against the plan: the point to
+// serve it with, the recorded reuse penalty (1 for an exactly planned
+// batch; otherwise the matrix-derived EstimatePenalty of the nearest
+// point), and whether the batch was planned exactly.
+func (p *Plan) Route(batch int) (pt *Point, penalty float64, exact bool) {
+	if i := p.Index(batch); i >= 0 {
+		return &p.Points[i], 1, true
+	}
+	i := p.Nearest(batch)
+	return &p.Points[i], p.EstimatePenalty(i, batch), false
+}
+
+// Validate checks the plan's structural invariants: at least one point,
+// strictly ascending positive batches, every schedule bound to its
+// point's graph (with the graph instantiated at the point's batch), and a
+// square latency matrix of finite non-negative entries whose diagonal
+// matches the points' recorded latencies.
+func (p *Plan) Validate() error {
+	if len(p.Points) == 0 {
+		return fmt.Errorf("plan: no points")
+	}
+	for i, pt := range p.Points {
+		if pt.Batch < 1 {
+			return fmt.Errorf("plan: point %d has batch %d (must be >= 1)", i, pt.Batch)
+		}
+		if i > 0 && pt.Batch <= p.Points[i-1].Batch {
+			return fmt.Errorf("plan: batches not strictly ascending at point %d (%d after %d)", i, pt.Batch, p.Points[i-1].Batch)
+		}
+		if pt.Graph == nil || pt.Schedule == nil {
+			return fmt.Errorf("plan: point %d (batch %d) missing graph or schedule", i, pt.Batch)
+		}
+		if got := pt.Graph.Batch(); got != pt.Batch {
+			return fmt.Errorf("plan: point %d graph has batch %d, want %d", i, got, pt.Batch)
+		}
+		if pt.Schedule.Graph != pt.Graph {
+			return fmt.Errorf("plan: point %d (batch %d) schedule is bound to a different graph", i, pt.Batch)
+		}
+		if err := pt.Schedule.Validate(); err != nil {
+			return fmt.Errorf("plan: point %d (batch %d): %w", i, pt.Batch, err)
+		}
+	}
+	n := len(p.Points)
+	if len(p.Latency) != n {
+		return fmt.Errorf("plan: latency matrix has %d rows, want %d", len(p.Latency), n)
+	}
+	for i, row := range p.Latency {
+		if len(row) != n {
+			return fmt.Errorf("plan: latency row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("plan: latency[%d][%d] = %v invalid", i, j, v)
+			}
+		}
+		if p.Latency[i][i] != p.Points[i].Latency {
+			return fmt.Errorf("plan: point %d latency %v disagrees with matrix diagonal %v", i, p.Points[i].Latency, p.Latency[i][i])
+		}
+	}
+	return nil
+}
+
+// diagEps absorbs float summation-order noise when comparing measured
+// latencies of different schedules: the DP guarantees the specialized
+// schedule is optimal in exact arithmetic, so only last-ulp ties need
+// slack.
+const diagEps = 1e-9
+
+// DiagonalWins verifies the specialization property the paper's Table 3
+// demonstrates: in every column j (execution batch), the specialized
+// schedule's latency Latency[j][j] is no worse than any reused schedule's
+// Latency[i][j]. It returns a descriptive error for the first violation.
+func (p *Plan) DiagonalWins() error {
+	for j := range p.Points {
+		spec := p.Latency[j][j]
+		for i := range p.Points {
+			if spec > p.Latency[i][j]*(1+diagEps) {
+				return fmt.Errorf(
+					"plan: specialized latency at batch %d (%.6gs) exceeds schedule-from-batch-%d reuse (%.6gs)",
+					p.Points[j].Batch, spec, p.Points[i].Batch, p.Latency[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// Render writes the plan's latency and penalty matrices as text tables.
+func (p *Plan) Render(w io.Writer) {
+	batches := p.Batches()
+	head := make([]string, 0, len(batches)+1)
+	head = append(head, "optimized \\ executed at")
+	for _, b := range batches {
+		head = append(head, fmt.Sprintf("b%d", b))
+	}
+	lat := report.NewTable(fmt.Sprintf("batch plan %s on %s (%s): latency ms", p.Model, p.Device, p.Opts), head...)
+	pen := report.NewTable("reuse penalty (row schedule at column batch / column's specialized schedule)", head...)
+	for i, b := range batches {
+		latRow := []interface{}{fmt.Sprintf("batch %d", b)}
+		penRow := []interface{}{fmt.Sprintf("batch %d", b)}
+		for j := range batches {
+			latRow = append(latRow, 1e3*p.Latency[i][j])
+			penRow = append(penRow, p.Penalty(i, j))
+		}
+		lat.AddRow(latRow...)
+		pen.AddRow(penRow...)
+	}
+	lat.Render(w)
+	fmt.Fprintln(w, "(each column's minimum should sit on the diagonal: specialization wins)")
+	fmt.Fprintln(w)
+	pen.Render(w)
+}
+
+// BuildConfig configures Build.
+type BuildConfig struct {
+	// Graph is the architecture to specialize; its own batch size is
+	// irrelevant (every point rebuilds it with Graph.WithBatch).
+	Graph *graph.Graph
+	// Batches are the sweep's batch sizes (deduplicated and sorted by
+	// Build; all must be >= 1).
+	Batches []int
+	// Device is the canonical device name recorded in the plan.
+	Device string
+	// Opts configures every point's search (canonicalized and validated
+	// by Build; Workers is ignored in favor of the Workers budget below).
+	Opts core.Options
+	// Workers is the total worker-goroutine budget shared by the sweep:
+	// points run concurrently and split the budget between their DP
+	// engines (0 or negative = GOMAXPROCS). Like Options.Workers this is
+	// a pure execution knob — plans are identical at every setting.
+	Workers int
+	// NewProfiler returns a profiler for one search or measurement. It is
+	// called from multiple goroutines; have every returned profiler share
+	// one measurement cache (e.g. forks of a common root) so the sweep
+	// deduplicates repeated structure across its points.
+	NewProfiler func() *profile.Profiler
+	// Progress, when set, receives search-progress snapshots. Build
+	// serializes the calls, but snapshots from concurrent sweep points
+	// interleave.
+	Progress func(core.Progress)
+}
+
+// Build runs a batch-specialization sweep: one IOS search per batch size
+// (concurrently, under the shared worker budget), then the full
+// cross-batch measurement matrix — every specialized schedule transferred
+// (by node name) onto every other batch's graph and measured. A cancelled
+// ctx aborts outstanding searches and returns the wrapped ctx.Err().
+func Build(ctx context.Context, cfg BuildConfig) (*Plan, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("plan: nil graph")
+	}
+	if cfg.NewProfiler == nil {
+		return nil, fmt.Errorf("plan: BuildConfig.NewProfiler is required")
+	}
+	batches, err := normalizeBatches(cfg.Batches)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.Opts.Canonical()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(batches)
+	graphs := make([]*graph.Graph, n)
+	for i, b := range batches {
+		if graphs[i], err = cfg.Graph.WithBatch(b); err != nil {
+			return nil, fmt.Errorf("plan: %w", err)
+		}
+	}
+
+	budget := cfg.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	conc := n
+	if conc > budget {
+		conc = budget
+	}
+	opts.Workers = budget / conc
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	progress := cfg.Progress
+	if progress != nil {
+		var mu sync.Mutex
+		inner := progress
+		progress = func(pr core.Progress) {
+			mu.Lock()
+			inner(pr)
+			mu.Unlock()
+		}
+	}
+
+	// Phase 1: one specialized search per batch, conc at a time.
+	scheds := make([]*schedule.Schedule, n)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	sem := make(chan struct{}, conc)
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if runCtx.Err() != nil {
+				return
+			}
+			res, err := core.OptimizeWithProgress(runCtx, graphs[i], cfg.NewProfiler(), opts, progress)
+			if err != nil {
+				setErr(fmt.Errorf("plan: optimize batch %d: %w", batches[i], err))
+				return
+			}
+			scheds[i] = res.Schedule
+		}(i)
+	}
+	wg.Wait()
+	if err := sweepErr(ctx, firstErr); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the cross-batch matrix. Schedules transfer across batches
+	// by node name (Graph.WithBatch preserves names and structure), so a
+	// row's off-diagonal entries measure exactly the reuse a nearest-batch
+	// serving tier performs.
+	lat := make([][]float64, n)
+	for i := range lat {
+		lat[i] = make([]float64, n)
+	}
+	recipes := make([][]byte, n)
+	for i, s := range scheds {
+		if recipes[i], err = s.MarshalJSON(); err != nil {
+			return nil, fmt.Errorf("plan: marshal batch-%d schedule: %w", batches[i], err)
+		}
+	}
+	for i := range batches {
+		for j := range batches {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if runCtx.Err() != nil {
+					return
+				}
+				var (
+					s   *schedule.Schedule
+					err error
+				)
+				if i == j {
+					s = scheds[i]
+				} else {
+					if s, err = schedule.FromJSON(recipes[i], graphs[j]); err == nil {
+						err = s.Validate()
+					}
+					if err != nil {
+						setErr(fmt.Errorf("plan: transfer batch-%d schedule to batch %d: %w", batches[i], batches[j], err))
+						return
+					}
+				}
+				l, err := cfg.NewProfiler().MeasureSchedule(s)
+				if err != nil {
+					setErr(fmt.Errorf("plan: measure batch-%d schedule at batch %d: %w", batches[i], batches[j], err))
+					return
+				}
+				lat[i][j] = l
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	if err := sweepErr(ctx, firstErr); err != nil {
+		return nil, err
+	}
+
+	p := &Plan{Model: cfg.Graph.Name, Device: cfg.Device, Opts: opts.Fingerprint()}
+	p.Latency = lat
+	p.Points = make([]Point, n)
+	for i := range batches {
+		p.Points[i] = Point{Batch: batches[i], Graph: graphs[i], Schedule: scheds[i], Latency: lat[i][i]}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// sweepErr resolves a sweep's first error, preferring the caller's own
+// cancellation (the sibling-abort errors it triggers are secondary).
+func sweepErr(ctx context.Context, firstErr error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("plan: sweep cancelled: %w", err)
+	}
+	return firstErr
+}
+
+// normalizeBatches validates, deduplicates, and sorts a batch sweep.
+func normalizeBatches(batches []int) ([]int, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("plan: empty batch sweep")
+	}
+	seen := make(map[int]bool, len(batches))
+	out := make([]int, 0, len(batches))
+	for _, b := range batches {
+		if b < 1 {
+			return nil, fmt.Errorf("plan: batch size must be >= 1, got %d", b)
+		}
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

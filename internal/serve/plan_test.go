@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ios/internal/models"
+	"ios/internal/schedule"
+)
+
+// planTestBatches keeps the warm sweep cheap: SqueezeNet searches in
+// well under a millisecond per batch.
+var planTestBatches = []int{1, 4, 16}
+
+// newPlannedServer warms a SqueezeNet batch plan into a fresh server.
+func newPlannedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(Config{Logf: t.Logf})
+	if err := s.WarmPlans(context.Background(), []string{"squeezenet"}, planTestBatches); err != nil {
+		t.Fatalf("WarmPlans: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func TestPlanExactHit(t *testing.T) {
+	s, ts := newPlannedServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Model: "squeezenet", Batch: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == nil {
+		t.Fatal("planned batch not served from the plan")
+	}
+	if !out.Plan.Exact || out.Plan.PlannedBatch != 4 || out.Plan.Penalty != 1 {
+		t.Fatalf("plan route = %+v, want exact batch 4 penalty 1", out.Plan)
+	}
+	if !out.Cached {
+		t.Error("plan-served response should report cached=true (no search ran)")
+	}
+	if out.LatencyMS <= 0 || out.Throughput <= 0 {
+		t.Fatalf("latency %.3f, throughput %.3f", out.LatencyMS, out.Throughput)
+	}
+	// The schedule is the plan's specialized one: it must reconstruct and
+	// validate against the batch-4 graph.
+	g := models.SqueezeNet(4)
+	sched, err := schedule.FromJSON(out.Schedule, g)
+	if err != nil {
+		t.Fatalf("returned schedule does not bind to squeezenet b4: %v", err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("returned schedule invalid: %v", err)
+	}
+	// No optimizer ran: the schedule cache saw no traffic for this key.
+	if st := s.Cache().Stats(); st.Misses != 0 {
+		t.Errorf("schedule cache misses = %d, want 0 (plan bypasses the search)", st.Misses)
+	}
+}
+
+func TestPlanNearestRouting(t *testing.T) {
+	s, ts := newPlannedServer(t)
+
+	// Batch 13 is unplanned; nearest planned batch is 16.
+	resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Model: "squeezenet", Batch: 13})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == nil {
+		t.Fatal("unplanned batch not routed through the plan")
+	}
+	if out.Plan.Exact || out.Plan.PlannedBatch != 16 {
+		t.Fatalf("plan route = %+v, want nearest batch 16", out.Plan)
+	}
+	wantPen := s.planFor(Key{Model: "squeezenet", Device: out.Device, Opts: out.Options}).EstimatePenalty(2, 13)
+	if out.Plan.Penalty != wantPen {
+		t.Errorf("penalty = %v, want the plan's estimate %v", out.Plan.Penalty, wantPen)
+	}
+	if out.Batch != 13 {
+		t.Errorf("response batch = %d, want the requested 13", out.Batch)
+	}
+	// The served schedule must be feasible at the REQUESTED batch.
+	g := models.SqueezeNet(13)
+	sched, err := schedule.FromJSON(out.Schedule, g)
+	if err != nil {
+		t.Fatalf("routed schedule does not bind at batch 13: %v", err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("routed schedule invalid: %v", err)
+	}
+
+	// The routing and its penalty are recorded in /stats.
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Plan.Plans != 1 || st.Plan.Routed != 1 {
+		t.Fatalf("plan stats = %+v, want 1 plan, 1 routed", st.Plan)
+	}
+	if st.Plan.LastPenalty != wantPen || st.Plan.PenaltySum != wantPen {
+		t.Errorf("recorded penalty = %v (sum %v), want %v", st.Plan.LastPenalty, st.Plan.PenaltySum, wantPen)
+	}
+	if st.Plan.MaxPenalty < 1 {
+		t.Errorf("max penalty = %v, want >= 1", st.Plan.MaxPenalty)
+	}
+}
+
+func TestPlansEndpoint(t *testing.T) {
+	_, ts := newPlannedServer(t)
+	var infos []PlanInfo
+	getJSON(t, ts.URL+"/plans", &infos)
+	if len(infos) != 1 {
+		t.Fatalf("GET /plans returned %d plans, want 1", len(infos))
+	}
+	info := infos[0]
+	if info.Model != "squeezenet" || len(info.Batches) != len(planTestBatches) {
+		t.Fatalf("plan info = %+v", info)
+	}
+	for i := range info.Batches {
+		if info.Penalty[i][i] != 1 {
+			t.Errorf("penalty diagonal [%d][%d] = %v, want 1", i, i, info.Penalty[i][i])
+		}
+		for j := range info.Batches {
+			if info.LatencyMS[i][j] <= 0 {
+				t.Errorf("latency_ms[%d][%d] = %v", i, j, info.LatencyMS[i][j])
+			}
+			// Column minimum on the diagonal: specialization wins.
+			if info.LatencyMS[j][j] > info.LatencyMS[i][j]*(1+1e-9) {
+				t.Errorf("diagonal loses: lat[%d][%d]=%v > lat[%d][%d]=%v",
+					j, j, info.LatencyMS[j][j], i, j, info.LatencyMS[i][j])
+			}
+		}
+	}
+}
+
+func TestPlanRoutingConcurrent(t *testing.T) {
+	s, ts := newPlannedServer(t)
+	batches := []int{1, 2, 4, 8, 13, 16, 32}
+	const perBatch = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(batches)*perBatch)
+	for _, b := range batches {
+		for k := 0; k < perBatch; k++ {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Model: "squeezenet", Batch: b})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch %d: status %d: %s", b, resp.StatusCode, body)
+					return
+				}
+				var out OptimizeResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					errs <- fmt.Errorf("batch %d: %v", b, err)
+					return
+				}
+				if out.Plan == nil {
+					errs <- fmt.Errorf("batch %d: not plan-served", b)
+				}
+			}(b)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	total := st.Plan.Exact + st.Plan.Routed
+	if want := int64(len(batches) * perBatch); total != want {
+		t.Errorf("plan-served count = %d, want %d", total, want)
+	}
+	if st.Plan.Exact != int64(3*perBatch) {
+		t.Errorf("exact = %d, want %d (batches 1, 4, 16)", st.Plan.Exact, 3*perBatch)
+	}
+	if math.IsNaN(st.Plan.PenaltySum) || st.Plan.PenaltySum < float64(total)-1e-9 {
+		t.Errorf("penalty sum = %v, want >= %d", st.Plan.PenaltySum, total)
+	}
+	_ = s
+}
+
+// TestPlanDoesNotHijackOtherConfigs pins the routing key: a request whose
+// options fingerprint differs from the plan's must fall through to the
+// normal optimize path.
+func TestPlanDoesNotHijackOtherConfigs(t *testing.T) {
+	_, ts := newPlannedServer(t)
+	resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Model: "squeezenet", Batch: 4, R: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan != nil {
+		t.Fatalf("request with r=2 served from the r=3 plan (options %s)", out.Options)
+	}
+	// States (unlike Measurements) cannot be absorbed by the process-wide
+	// structural measurement cache, so it proves a real search ran.
+	if out.Search.States == 0 {
+		t.Error("fall-through request should have run a real search")
+	}
+}
+
+// TestOptimizeRejectsInconsistentInputBatches covers the serving side of
+// the Graph.Batch bugfix: a multi-input graph whose inputs disagree on
+// the batch dimension must be a 400, not a cache entry under the first
+// input's batch.
+func TestOptimizeRejectsInconsistentInputBatches(t *testing.T) {
+	s, ts := newTestServer(t)
+	graphJSON := `{
+	  "name": "twin",
+	  "nodes": [
+	    {"name": "a", "op": "input", "shape": [2, 3, 8, 8]},
+	    {"name": "b", "op": "input", "shape": [4, 3, 8, 8]},
+	    {"name": "ca", "op": "conv", "inputs": ["a"], "out": 3, "act": "relu"},
+	    {"name": "cb", "op": "conv", "inputs": ["b"], "out": 3, "act": "relu"}
+	  ]
+	}`
+	resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Graph: json.RawMessage(graphJSON)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "batch") {
+		t.Errorf("error does not mention the batch conflict: %s", body)
+	}
+	if got := s.Cache().Len(); got != 0 {
+		t.Errorf("inconsistent graph left %d cache slots behind", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"ios/internal/graph"
 	"ios/internal/measure"
 	"ios/internal/models"
+	"ios/internal/plan"
 	"ios/internal/profile"
 	"ios/internal/schedule"
 )
@@ -75,6 +77,12 @@ type Config struct {
 	// so all servers in a process amortize each other's work; results
 	// are bit-identical with or without it.
 	MeasureCache *measure.Cache
+	// Plans are batch-specialization plans registered at construction:
+	// /optimize requests matching a plan's (model, device, options) are
+	// served from its specialized schedules, with nearest-batch routing
+	// for unplanned batch sizes. Invalid plans are skipped (and logged).
+	// More plans can be added later with RegisterPlan / WarmPlans.
+	Plans []*plan.Plan
 	// Deadline, when positive, bounds each request's server-side
 	// processing time: the request context gets this timeout, an
 	// optimization that outlives it is cancelled (unless other live
@@ -106,11 +114,53 @@ type Server struct {
 	measureReqs   int64
 	modelsReqs    int64
 	statsReqs     int64
+	plansReqs     int64
 	cancelledReqs int64
+
+	// Batch-specialization plans, keyed by the specialization axes minus
+	// batch (which plans span). planMu also guards the float penalty
+	// counters, which atomics cannot cover, and the routing memo.
+	planMu      sync.Mutex
+	plans       map[planKey]*plan.Plan
+	planMemo    map[planMemoKey]*planServed
+	planExact   int64
+	planRouted  int64
+	penaltySum  float64
+	lastPenalty float64
+	maxPenalty  float64
 
 	zooOnce sync.Once
 	zooInfo []ModelInfo
 }
+
+// planKey addresses a registered plan: a serving Key minus the batch.
+type planKey struct {
+	model, device, opts string
+}
+
+// planMemoKey addresses one memoized (plan, requested batch) routing; the
+// plan pointer keys it so re-registering a plan naturally invalidates the
+// old entries.
+type planMemoKey struct {
+	p     *plan.Plan
+	batch int
+}
+
+// planServed is the rendered answer for one (plan, requested batch):
+// every field is a pure function of the plan point and the batch, so it
+// is computed once and served to every subsequent request.
+type planServed struct {
+	schedJSON []byte
+	summary   schedule.Summary
+	lat       float64 // schedule latency at the requested batch, seconds
+	seqLat    float64 // sequential baseline at the requested batch, seconds
+}
+
+// planMemoCap bounds the routing memo: requests choose the batch, so an
+// adversarial client could otherwise grow it without limit. Entries over
+// capacity are simply recomputed per request (deterministic values —
+// correctness is unaffected).
+const planMemoCap = 4096
 
 // NewServer returns a ready-to-mount server.
 func NewServer(cfg Config) *Server {
@@ -125,12 +175,67 @@ func NewServer(cfg Config) *Server {
 	if mc == nil {
 		mc = SharedMeasureCache()
 	}
-	s := &Server{cfg: cfg, cache: cache, measure: mc, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{cfg: cfg, cache: cache, measure: mc, mux: http.NewServeMux(), start: time.Now(),
+		plans: make(map[planKey]*plan.Plan), planMemo: make(map[planMemoKey]*planServed)}
+	for _, p := range cfg.Plans {
+		if err := s.RegisterPlan(p); err != nil {
+			s.logf("skipping invalid plan: %v", err)
+		}
+	}
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/measure", s.handleMeasure)
 	s.mux.HandleFunc("/models", s.handleModels)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/plans", s.handlePlans)
 	return s
+}
+
+// RegisterPlan validates and registers a batch-specialization plan for
+// routing. A plan replaces any earlier plan with the same (model, device,
+// options) key. Plans for zoo models must use the canonical zoo name
+// (models.ZooEntry.Name) as their Model to match request resolution.
+func (s *Server) RegisterPlan(p *plan.Plan) error {
+	if p == nil {
+		return fmt.Errorf("serve: nil plan")
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("serve: register plan: %w", err)
+	}
+	key := planKey{p.Model, p.Device, p.Opts}
+	s.planMu.Lock()
+	if old := s.plans[key]; old != nil && old != p {
+		for mk := range s.planMemo {
+			if mk.p == old {
+				delete(s.planMemo, mk)
+			}
+		}
+	}
+	s.plans[key] = p
+	s.planMu.Unlock()
+	return nil
+}
+
+// planFor returns the registered plan matching a request key, or nil.
+func (s *Server) planFor(key Key) *plan.Plan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	return s.plans[planKey{key.Model, key.Device, key.Opts}]
+}
+
+// recordRoute counts one plan-served request in the /stats counters.
+func (s *Server) recordRoute(penalty float64, exact bool) {
+	s.planMu.Lock()
+	if exact {
+		s.planExact++
+	} else {
+		s.planRouted++
+	}
+	s.lastPenalty = penalty
+	s.penaltySum += penalty
+	if penalty > s.maxPenalty {
+		s.maxPenalty = penalty
+	}
+	s.planMu.Unlock()
 }
 
 // Cache returns the server's schedule cache.
@@ -179,6 +284,18 @@ type SearchInfo struct {
 	WallMS       float64 `json:"wall_ms"`
 }
 
+// PlanRoute reports how a request was served from a registered
+// batch-specialization plan: the planned batch whose specialized schedule
+// answered it, whether the requested batch was planned exactly, and the
+// recorded reuse penalty (1 for an exact hit; for nearest-batch routing,
+// the plan's matrix-derived estimate of reused-schedule latency over
+// specialized latency at the requested batch).
+type PlanRoute struct {
+	PlannedBatch int     `json:"planned_batch"`
+	Exact        bool    `json:"exact"`
+	Penalty      float64 `json:"penalty"`
+}
+
 // OptimizeResponse is the body of a successful POST /optimize.
 type OptimizeResponse struct {
 	Model        string           `json:"model"`
@@ -193,6 +310,9 @@ type OptimizeResponse struct {
 	Summary      schedule.Summary `json:"summary"`
 	Schedule     json.RawMessage  `json:"schedule"`
 	Search       SearchInfo       `json:"search"`
+	// Plan is set when the request was served from a registered
+	// batch-specialization plan instead of the schedule cache.
+	Plan *PlanRoute `json:"plan,omitempty"`
 }
 
 // MeasureRequest is the body of POST /measure. The graph is named or
@@ -230,6 +350,23 @@ type ModelInfo struct {
 	Width   int      `json:"width"`
 }
 
+// PlanStats counts batch-plan routing traffic for GET /stats.
+type PlanStats struct {
+	// Plans is the number of registered batch-specialization plans.
+	Plans int `json:"plans"`
+	// Exact counts requests served at an exactly planned batch size;
+	// Routed counts requests at unplanned batches served by the nearest
+	// specialized schedule.
+	Exact  int64 `json:"exact"`
+	Routed int64 `json:"routed"`
+	// LastPenalty is the most recent plan-served request's recorded reuse
+	// penalty; PenaltySum accumulates them (mean = PenaltySum /
+	// (Exact+Routed)) and MaxPenalty tracks the worst routing so far.
+	LastPenalty float64 `json:"last_penalty"`
+	PenaltySum  float64 `json:"penalty_sum"`
+	MaxPenalty  float64 `json:"max_penalty"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	Device   string           `json:"device"`
@@ -240,6 +377,21 @@ type StatsResponse struct {
 	// MeasureCache reports the structural measurement cache: simulator
 	// invocations deduplicated across every request in the process.
 	MeasureCache measure.Stats `json:"measure_cache"`
+	// Plan reports batch-specialization routing: how many requests were
+	// served from registered plans and at what recorded penalty.
+	Plan PlanStats `json:"plan"`
+}
+
+// PlanInfo is one GET /plans row: a registered plan's identity plus its
+// measured cross-batch matrices (latency in milliseconds; penalty =
+// row-schedule-at-column-batch over the column's specialized schedule).
+type PlanInfo struct {
+	Model     string      `json:"model"`
+	Device    string      `json:"device"`
+	Options   string      `json:"options"`
+	Batches   []int       `json:"batches"`
+	LatencyMS [][]float64 `json:"latency_ms"`
+	Penalty   [][]float64 `json:"penalty"`
 }
 
 // request resolution ---------------------------------------------------
@@ -399,6 +551,51 @@ func (s *Server) Warm(ctx context.Context, names []string, batches []int) error 
 	return nil
 }
 
+// WarmPlans builds and registers a batch-specialization plan for each
+// named zoo model (nil = the paper's four benchmarks) over the given
+// batch sizes, on the server's default device and options: one
+// specialized search per (model, batch) — concurrently per model, under
+// the server's worker budget — plus the measured cross-batch penalty
+// matrix, all feeding the server's shared structural measurement cache.
+// Subsequent /optimize requests for these models are answered from the
+// plan: exactly planned batches with their specialized schedule,
+// unplanned batches by nearest-batch routing with a recorded penalty.
+// Cancelling ctx aborts the remaining sweeps.
+func (s *Server) WarmPlans(ctx context.Context, names []string, batches []int) error {
+	if names == nil {
+		names = []string{"inception", "randwire", "nasnet", "squeezenet"}
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("serve: WarmPlans needs at least one batch size")
+	}
+	opts := s.cfg.Options.Canonical()
+	for _, name := range names {
+		entry, ok := models.EntryByName(name)
+		if !ok {
+			return fmt.Errorf("serve: warm plan: unknown model %q (GET /models lists the zoo)", name)
+		}
+		p, err := plan.Build(ctx, plan.BuildConfig{
+			Graph:       entry.Build(1),
+			Batches:     batches,
+			Device:      s.cfg.Device.Name,
+			Opts:        opts,
+			Workers:     opts.Workers,
+			NewProfiler: func() *profile.Profiler { return s.newProfiler(s.cfg.Device) },
+		})
+		if err != nil {
+			return fmt.Errorf("serve: warm plan %s: %w", entry.Name, err)
+		}
+		// Key the plan by the canonical zoo name so request resolution
+		// (which canonicalizes model names) finds it.
+		p.Model = entry.Name
+		if err := s.RegisterPlan(p); err != nil {
+			return err
+		}
+		s.logf("plan %s/%s/%s batches=%v", p.Model, p.Device, p.Opts, p.Batches())
+	}
+	return nil
+}
+
 // handlers --------------------------------------------------------------
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -412,6 +609,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	res, err := s.resolve(req.Model, req.Graph, req.Batch, req.Device, req.Strategy, req.R, req.S)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if p := s.planFor(res.key); p != nil {
+		s.servePlanned(w, ctx, res, p)
 		return
 	}
 	e, cached, err := s.entry(ctx, res)
@@ -452,6 +653,102 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("optimize %s cached=%v %.3fms", res.key, cached, resp.LatencyMS)
 	s.writeJSON(w, resp)
+}
+
+// servePlanned answers an /optimize request from a registered
+// batch-specialization plan: an exactly planned batch is served with its
+// specialized schedule and stored latency; an unplanned batch is routed
+// to the nearest planned batch, whose schedule is transferred onto the
+// requested batch's graph and measured (warm structural-measurement-cache
+// work — the optimizer never runs). The rendered answer for each (plan,
+// batch) is memoized, so repeat requests pay no measurement or marshaling
+// at all. Either way the routing is recorded in the /stats plan counters
+// with its penalty.
+func (s *Server) servePlanned(w http.ResponseWriter, ctx context.Context, res *resolved, p *plan.Plan) {
+	pt, penalty, exact := p.Route(res.batch)
+	if err := ctx.Err(); err != nil {
+		s.failCompute(w, ctx, err)
+		return
+	}
+	e, err := s.plannedEntry(res, p, pt, exact)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.recordRoute(penalty, exact)
+	resp := OptimizeResponse{
+		Model:        res.key.Model,
+		Device:       res.spec.Name,
+		Batch:        res.batch,
+		Options:      res.key.Opts,
+		Cached:       true, // no search ran; the plan precomputed it
+		LatencyMS:    1e3 * e.lat,
+		SequentialMS: 1e3 * e.seqLat,
+		Speedup:      ratio(e.seqLat, e.lat),
+		Throughput:   ratio(float64(res.batch), e.lat),
+		Summary:      e.summary,
+		Schedule:     e.schedJSON,
+		Plan:         &PlanRoute{PlannedBatch: pt.Batch, Exact: exact, Penalty: penalty},
+	}
+	s.logf("optimize %s plan batch=%d->%d exact=%v penalty=%.3f %.3fms",
+		res.key, res.batch, pt.Batch, exact, penalty, resp.LatencyMS)
+	s.writeJSON(w, resp)
+}
+
+// plannedEntry resolves the memoized answer for one (plan, requested
+// batch), computing it on the first request: bind the routed schedule at
+// the requested batch (exact hits reuse the plan point verbatim), measure
+// it and the sequential baseline, and pre-serialize the schedule JSON.
+// Every value is a deterministic function of the inputs, so concurrent
+// first requests may compute duplicates, and last-write-wins is benign.
+func (s *Server) plannedEntry(res *resolved, p *plan.Plan, pt *plan.Point, exact bool) (*planServed, error) {
+	key := planMemoKey{p: p, batch: res.batch}
+	s.planMu.Lock()
+	if e, ok := s.planMemo[key]; ok {
+		s.planMu.Unlock()
+		return e, nil
+	}
+	s.planMu.Unlock()
+
+	g, sched, lat := pt.Graph, pt.Schedule, pt.Latency
+	if !exact {
+		var err error
+		if g, err = res.build(); err != nil {
+			return nil, err
+		}
+		recipe, err := pt.Schedule.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		if sched, err = schedule.FromJSON(recipe, g); err == nil {
+			err = sched.Validate()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan: route batch %d to planned batch %d: %w", res.batch, pt.Batch, err)
+		}
+		if lat, err = s.newProfiler(res.spec).MeasureSchedule(sched); err != nil {
+			return nil, err
+		}
+	}
+	seq, err := baseline.Sequential(g)
+	if err != nil {
+		return nil, err
+	}
+	seqLat, err := s.newProfiler(res.spec).MeasureSchedule(seq)
+	if err != nil {
+		return nil, err
+	}
+	schedJSON, err := sched.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	e := &planServed{schedJSON: schedJSON, summary: sched.Summarize(), lat: lat, seqLat: seqLat}
+	s.planMu.Lock()
+	if len(s.planMemo) < planMemoCap {
+		s.planMemo[key] = e
+	}
+	s.planMu.Unlock()
+	return e, nil
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
@@ -584,6 +881,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
+	s.planMu.Lock()
+	planStats := PlanStats{
+		Plans:       len(s.plans),
+		Exact:       s.planExact,
+		Routed:      s.planRouted,
+		LastPenalty: s.lastPenalty,
+		PenaltySum:  s.penaltySum,
+		MaxPenalty:  s.maxPenalty,
+	}
+	s.planMu.Unlock()
 	s.writeJSON(w, StatsResponse{
 		Device:  s.cfg.Device.Name,
 		Options: s.cfg.Options.Fingerprint(),
@@ -593,11 +900,55 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"measure":   atomic.LoadInt64(&s.measureReqs),
 			"models":    atomic.LoadInt64(&s.modelsReqs),
 			"stats":     atomic.LoadInt64(&s.statsReqs),
+			"plans":     atomic.LoadInt64(&s.plansReqs),
 			"cancelled": atomic.LoadInt64(&s.cancelledReqs),
 		},
 		Cache:        s.cache.Stats(),
 		MeasureCache: s.measure.Stats(),
+		Plan:         planStats,
 	})
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.plansReqs, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.planMu.Lock()
+	infos := make([]PlanInfo, 0, len(s.plans))
+	for _, p := range s.plans {
+		n := len(p.Points)
+		info := PlanInfo{
+			Model:     p.Model,
+			Device:    p.Device,
+			Options:   p.Opts,
+			Batches:   p.Batches(),
+			LatencyMS: make([][]float64, n),
+			Penalty:   make([][]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			info.LatencyMS[i] = make([]float64, n)
+			info.Penalty[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				info.LatencyMS[i][j] = 1e3 * p.Latency[i][j]
+				info.Penalty[i][j] = p.Penalty(i, j)
+			}
+		}
+		infos = append(infos, info)
+	}
+	s.planMu.Unlock()
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i], infos[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Options < b.Options
+	})
+	s.writeJSON(w, infos)
 }
 
 // plumbing --------------------------------------------------------------

@@ -145,6 +145,13 @@ func OptimizeWithProfilerContext(ctx context.Context, g *Graph, prof *Profiler, 
 	return core.OptimizeContext(ctx, g, prof, opts)
 }
 
+// LoadSchedule reconstructs a schedule recipe (the JSON emitted by
+// Schedule.MarshalJSON, cmd/iosopt, or the serving API) against the given
+// graph, rebinding its stages by node name. The result is validated by
+// the first Measure; call Schedule.Validate directly for an upfront
+// feasibility check.
+func LoadSchedule(data []byte, g *Graph) (*Schedule, error) { return schedule.FromJSON(data, g) }
+
 // SequentialSchedule returns the paper's sequential baseline: operators
 // one by one in topological order.
 func SequentialSchedule(g *Graph) (*Schedule, error) { return baseline.Sequential(g) }

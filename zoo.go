@@ -36,6 +36,11 @@ func VGG16(batch int) *Graph { return models.VGG16(batch) }
 // Figure2Block builds the running example of the paper's Figure 2.
 func Figure2Block(batch int) *Graph { return models.Figure2Block(batch) }
 
+// InceptionE builds the last block of Inception V3 on its own — the
+// subject of the paper's Section 7.2 specialization study and the cheap
+// stand-in the quick experiment configs use for the full networks.
+func InceptionE(batch int) *Graph { return models.InceptionE(batch) }
+
 // Execute runs a schedule over real float32 tensors on the CPU reference
 // executor (concurrent groups on goroutines, merge stages as stacked
 // kernels) and returns the output tensor of the named node. Weights and
