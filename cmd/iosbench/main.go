@@ -91,6 +91,47 @@ func writeMeasureJSON(cfg expt.Config, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// blocksBaseline is the BENCH_blocks.json schema: environment plus the
+// uncached/cold/warm block-cache rows.
+type blocksBaseline struct {
+	Device     string          `json:"device"`
+	Batch      int             `json:"batch"`
+	Quick      bool            `json:"quick"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Rows       []expt.BlockRow `json:"rows"`
+}
+
+// writeBlocksJSON runs the whole-block schedule cache comparison
+// (experiment "block-cache") and writes the baseline file future PRs diff
+// against, failing if a cached run ever diverges from the uncached
+// oracle or a warm run still searches.
+func writeBlocksJSON(cfg expt.Config, path string) error {
+	rows, err := expt.BlockCacheRows(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			return fmt.Errorf("cached %s search diverged from the uncached oracle (fingerprint soundness bug)", r.Network)
+		}
+		if r.WarmSearches != 0 {
+			return fmt.Errorf("warm %s run still executed %d block searches (fingerprint instability bug)", r.Network, r.WarmSearches)
+		}
+	}
+	out := blocksBaseline{
+		Device:     cfg.Device.Name,
+		Batch:      cfg.Batch,
+		Quick:      cfg.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // specializeBaseline is the BENCH_specialize.json schema: environment
 // plus one cross-batch latency/penalty matrix per network.
 type specializeBaseline struct {
@@ -167,6 +208,7 @@ func main() {
 		sFlag          = flag.Int("s", 8, "pruning: max groups per stage")
 		searchJSON     = flag.String("search-json", "", "write the search-cost rows (experiment \"search\") as JSON to this file and exit")
 		measureJSON    = flag.String("measure-json", "", "write the measurement-cache rows (experiment \"measure-cache\": hits, misses, measurements saved) as JSON to this file and exit")
+		blocksJSON     = flag.String("blocks-json", "", "write the block-cache rows (experiment \"block-cache\": block DP searches uncached/cold/warm) as JSON to this file and exit; fails if a cached schedule diverges from the uncached oracle")
 		specializeJSON = flag.String("specialize-json", "", "write the batch-specialization rows (experiment \"specialize\": cross-batch latency and penalty matrices) as JSON to this file and exit; fails if any column's minimum leaves the diagonal")
 	)
 	flag.Usage = func() {
@@ -205,6 +247,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote measurement-cache baseline to %s\n", *measureJSON)
+		return
+	}
+	if *blocksJSON != "" {
+		if err := writeBlocksJSON(cfg, *blocksJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -blocks-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote block-cache baseline to %s\n", *blocksJSON)
 		return
 	}
 	if *specializeJSON != "" {

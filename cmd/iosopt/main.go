@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ios/internal/baseline"
+	"ios/internal/blockcache"
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/graph"
@@ -45,6 +46,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "report search progress (states/transitions/measurements, current level) on stderr")
 		timeout    = flag.Duration("timeout", 0, "abort the search after this long (e.g. 2m; 0 = no limit)")
 		mcacheFile = flag.String("measure-cache", "", "measurement-cache JSON file: loaded before the search (a warm restart skips already-simulated stages) and saved after it; a corrupt or missing file starts cold")
+		bcacheFile = flag.String("block-cache", "", "block-schedule-cache JSON file: loaded before the search (a warm restart skips whole block DP searches with bit-identical results) and saved after it; a corrupt or missing file starts cold")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -96,20 +98,39 @@ func main() {
 		}
 		prof.SetMeasureCache(mcache)
 	}
-	// The cache is worth saving even when the search does not finish: a
-	// timed-out NasNet run has already paid for its simulations, and the
-	// retry should resume from them instead of starting cold.
+	var bcache *blockcache.Cache
+	if *bcacheFile != "" {
+		bcache = blockcache.NewCache()
+		if n, err := bcache.LoadFile(*bcacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "iosopt: -block-cache %s: %v (starting cold)\n", *bcacheFile, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "iosopt: loaded %d cached block schedules from %s\n", n, *bcacheFile)
+		}
+		opts = opts.WithBlockCache(bcache)
+	}
+	// The caches are worth saving even when the search does not finish: a
+	// timed-out NasNet run has already paid for its simulations and its
+	// completed block searches, and the retry should resume from them
+	// instead of starting cold.
 	saveMeasureCache := func() {
-		if mcache == nil {
-			return
+		if mcache != nil {
+			if err := mcache.SaveFile(*mcacheFile); err != nil {
+				fmt.Fprintf(os.Stderr, "iosopt: save measure cache: %v\n", err)
+			} else {
+				st := mcache.Stats()
+				fmt.Fprintf(os.Stderr, "iosopt: measure cache: %d entries saved to %s (%d simulator runs avoided)\n",
+					st.Size, *mcacheFile, st.Saved())
+			}
 		}
-		if err := mcache.SaveFile(*mcacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "iosopt: save measure cache: %v\n", err)
-			return
+		if bcache != nil {
+			if err := bcache.SaveFile(*bcacheFile); err != nil {
+				fmt.Fprintf(os.Stderr, "iosopt: save block cache: %v\n", err)
+			} else {
+				st := bcache.Stats()
+				fmt.Fprintf(os.Stderr, "iosopt: block cache: %d entries saved to %s (%d block searches avoided)\n",
+					st.Size, *bcacheFile, st.Saved())
+			}
 		}
-		st := mcache.Stats()
-		fmt.Fprintf(os.Stderr, "iosopt: measure cache: %d entries saved to %s (%d simulator runs avoided)\n",
-			st.Size, *mcacheFile, st.Saved())
 	}
 
 	if *batchesStr != "" {

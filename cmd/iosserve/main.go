@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"ios/internal/blockcache"
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/measure"
@@ -57,6 +58,8 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "server-side per-request deadline (e.g. 30s); requests over it are shed with 503 and their searches cancelled (0 = none)")
 		mcacheFile = flag.String("measure-cache", "", "measurement-cache JSON file: loaded on start (a warm restart skips already-simulated stages) and saved on clean shutdown; a corrupt or missing file starts cold")
 		mcacheSize = flag.Int("measure-cache-size", serve.DefaultMeasureCacheSize, "measurement-cache capacity in fingerprints (0 = unbounded); over capacity, entries are shed and re-simulated on next use")
+		bcacheFile = flag.String("block-cache", "", "block-schedule-cache JSON file: loaded on start (a warm restart skips whole block DP searches with bit-identical results) and saved on clean shutdown; a corrupt or missing file starts cold")
+		bcacheSize = flag.Int("block-cache-size", serve.DefaultBlockCacheSize, "block-schedule-cache capacity in fingerprints (0 = unbounded); over capacity, entries are shed and re-searched on next use")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Usage = func() {
@@ -90,11 +93,23 @@ func main() {
 			log.Printf("iosserve: loaded %d cached measurements from %s", n, *mcacheFile)
 		}
 	}
+	// The block cache persists completed whole-block DP searches the same
+	// way: a warm restart serves previously optimized structures without a
+	// single block search, with bit-identical schedules.
+	bcache := blockcache.NewCacheSize(*bcacheSize)
+	if *bcacheFile != "" {
+		if n, err := bcache.LoadFile(*bcacheFile); err != nil {
+			log.Printf("iosserve: -block-cache %s: %v (starting cold)", *bcacheFile, err)
+		} else {
+			log.Printf("iosserve: loaded %d cached block schedules from %s", n, *bcacheFile)
+		}
+	}
 	cfg := serve.Config{
 		Device:       spec,
 		Options:      opts,
 		Cache:        serve.NewScheduleCache(*cacheFlag),
 		MeasureCache: mcache,
+		BlockCache:   bcache,
 		Deadline:     *deadline,
 	}
 	if !*quietFlag {
@@ -105,16 +120,24 @@ func main() {
 	// warm-up and a listener that never came up: whatever simulations
 	// completed are exactly what a warm restart wants.
 	saveMeasureCache := func() {
-		if *mcacheFile == "" {
-			return
+		if *mcacheFile != "" {
+			if err := mcache.SaveFile(*mcacheFile); err != nil {
+				log.Printf("iosserve: save measure cache: %v", err)
+			} else {
+				st := mcache.Stats()
+				log.Printf("iosserve: saved %d measurements to %s (%d simulator runs avoided this session)",
+					st.Size, *mcacheFile, st.Saved())
+			}
 		}
-		if err := mcache.SaveFile(*mcacheFile); err != nil {
-			log.Printf("iosserve: save measure cache: %v", err)
-			return
+		if *bcacheFile != "" {
+			if err := bcache.SaveFile(*bcacheFile); err != nil {
+				log.Printf("iosserve: save block cache: %v", err)
+			} else {
+				st := bcache.Stats()
+				log.Printf("iosserve: saved %d block schedules to %s (%d block searches avoided this session)",
+					st.Size, *bcacheFile, st.Saved())
+			}
 		}
-		st := mcache.Stats()
-		log.Printf("iosserve: saved %d measurements to %s (%d simulator runs avoided this session)",
-			st.Size, *mcacheFile, st.Saved())
 	}
 	// fail is fatal() for errors past cache creation: save first.
 	fail := func(err error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ios/internal/blockcache"
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/measure"
@@ -43,6 +44,37 @@ func NewMeasureCache() *MeasureCache { return measure.NewCache() }
 // are shed and simply re-simulated on next use — correctness is
 // unaffected.
 func NewMeasureCacheSize(maxEntries int) *MeasureCache { return measure.NewCacheSize(maxEntries) }
+
+// BlockCache is a process-wide whole-block schedule cache: a concurrent,
+// deduplicating map from a canonical structural block fingerprint —
+// computed from the block's DAG, its operators' lowered kernel programs,
+// the device model, and the search options, invariant to node identity
+// and graph position — to the completed schedule the DP produced for that
+// structure. Attached to an Engine with WithBlockCache (or to a server
+// via ServerConfig.BlockCache), it persists across Optimize calls and is
+// shared by every concurrent search, so a repeated cell (NasNet stacks
+// ~18 near-identical ones) pays one DP search instead of one per
+// repetition. Cached schedules are exact search outputs rebound onto the
+// requesting block's nodes: results are bit-identical with or without the
+// cache — only the number of block searches drops. Persist with
+// Save/SaveFile, reload with Load/LoadFile.
+type BlockCache = blockcache.Cache
+
+// BlockCacheStats counts block-cache traffic (hits, misses, coalesced
+// in-flight waits, loaded entries).
+type BlockCacheStats = blockcache.Stats
+
+// NewBlockCache returns an empty, unbounded whole-block schedule cache —
+// right for fixed workloads, whose entry count is bounded by the models'
+// distinct block structures.
+func NewBlockCache() *BlockCache { return blockcache.NewCache() }
+
+// NewBlockCacheSize returns a block cache holding at most maxEntries
+// completed block schedules (0 = unbounded). Long-running processes
+// optimizing arbitrary graphs should be bounded; over capacity, entries
+// are shed and simply re-searched on next use — correctness is
+// unaffected.
+func NewBlockCacheSize(maxEntries int) *BlockCache { return blockcache.NewCacheSize(maxEntries) }
 
 // Progress is one search-progress snapshot, delivered to the callback
 // installed with WithProgress (or passed to OptimizeWithProfilerContext's
@@ -101,6 +133,7 @@ type Engine struct {
 	progress func(Progress)
 	cache    *serve.ScheduleCache
 	mcache   *measure.Cache
+	bcache   *blockcache.Cache
 	prof     *Profiler
 }
 
@@ -147,6 +180,22 @@ func WithMeasureCache(c *MeasureCache) EngineOption {
 			c = measure.NewCache()
 		}
 		e.mcache = c
+	}
+}
+
+// WithBlockCache attaches a whole-block schedule cache: every block DP
+// search on this engine (and on engines and servers sharing the same
+// cache) is deduplicated by the block's canonical structural fingerprint,
+// with concurrent searches of the same structure coalescing into one.
+// Pass nil to give the engine a fresh private cache. Results are
+// bit-identical either way — only the number of block searches drops; see
+// BlockCache.
+func WithBlockCache(c *BlockCache) EngineOption {
+	return func(e *Engine) {
+		if c == nil {
+			c = blockcache.NewCache()
+		}
+		e.bcache = c
 	}
 }
 
@@ -210,6 +259,16 @@ func (e *Engine) MeasureCacheStats() MeasureCacheStats {
 	return e.mcache.Stats()
 }
 
+// BlockCacheStats reports the whole-block schedule cache's traffic
+// counters; the zero value when the engine has no block cache (see
+// WithBlockCache).
+func (e *Engine) BlockCacheStats() BlockCacheStats {
+	if e.bcache == nil {
+		return BlockCacheStats{}
+	}
+	return e.bcache.Stats()
+}
+
 // newProfiler forks a per-call profiler off the engine's root. Forks
 // share the root's immutable device model but own their measurement
 // caches, so concurrent calls never contend.
@@ -223,6 +282,9 @@ func (e *Engine) fillDefaults(opts Options) Options {
 	}
 	if opts.Pruning == (Pruning{}) && e.pruning != nil {
 		opts.Pruning = *e.pruning
+	}
+	if opts.BlockCache() == nil && e.bcache != nil {
+		opts = opts.WithBlockCache(e.bcache)
 	}
 	return opts
 }

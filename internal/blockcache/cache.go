@@ -1,0 +1,295 @@
+package blockcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount spreads the cache over independently locked shards so
+// parallel block searches (and concurrent serving requests) rarely contend
+// on one mutex. Power of two; the key hash below mixes well enough for a
+// mask.
+const shardCount = 32
+
+// Cache is a concurrent, sharded, deduplicating map from canonical block
+// fingerprint (see Fingerprint) to the completed block schedule in
+// canonical form (see Entry).
+//
+// Lookups are singleflight per key: the first goroutine to miss claims the
+// fingerprint and runs the block's DP search while concurrent requesters
+// for the same structure block until that one search publishes — so a
+// repeated cell is searched once no matter how many of a network's blocks
+// (or how many serving requests) race to it. Unlike the measurement
+// cache's mutex-based wait, waiters here park on a channel and also honor
+// their own context: a block search can run for seconds, and a waiter
+// whose request is cancelled must not be wedged behind it.
+//
+// The zero value is not usable; call NewCache or NewCacheSize.
+type Cache struct {
+	shards [shardCount]cacheShard
+	// perShardCap bounds each shard's resident entries (0 = unbounded):
+	// cached schedules are always recomputable, so a full shard sheds
+	// arbitrary completed entries rather than maintaining LRU bookkeeping.
+	// In-flight claims are never evicted.
+	perShardCap int
+
+	// size counts completed entries (maintained by Commit and insert) so
+	// Len/Stats never scan the shards.
+	size      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	loaded    atomic.Int64
+	evicted   atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cell
+}
+
+// cell is one fingerprint's slot. done is closed exactly once, after val
+// and abandoned are final, so any goroutine unblocked by (or observing)
+// the closed channel reads complete values without further locking.
+type cell struct {
+	done chan struct{}
+	val  *Entry
+	// abandoned marks a claim released without a result (the owner's
+	// search failed, was cancelled, or panicked); the cell has been
+	// removed from the shard and waiters must retry the key.
+	abandoned bool
+}
+
+// doneCell returns a completed cell for v (used by insert, where there is
+// never a waiter).
+func doneCell(v *Entry) *cell {
+	c := &cell{done: make(chan struct{}), val: v}
+	close(c.done)
+	return c
+}
+
+// completed reports whether the cell's result is published, without
+// blocking.
+func (e *cell) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Claim is an exclusive lease on one missing fingerprint, returned by
+// GetOrBegin: the holder must run the block search and call Commit — or,
+// if the search fails for any reason, Abandon — exactly once (every other
+// goroutine asking for the same key waits on it until then).
+type Claim struct {
+	c   *Cache
+	sh  *cacheShard
+	key string
+	e   *cell
+}
+
+// Commit publishes the completed entry and releases the claim. The entry
+// is shared with every current and future reader and must not be mutated
+// afterwards.
+func (cl *Claim) Commit(v *Entry) {
+	cl.e.val = v
+	cl.c.size.Add(1)
+	close(cl.e.done)
+}
+
+// Abandon releases the claim without publishing a result: the cell is
+// removed from the cache (so the fingerprint stays searchable) and blocked
+// waiters retry the key instead of reading a missing value. Call it when
+// the search cannot complete — a cancelled context, an error, a panicking
+// backend — or the fingerprint would stay wedged forever for every future
+// requester of a shared cache. A cancelled fill never poisons its key.
+func (cl *Claim) Abandon() {
+	cl.sh.mu.Lock()
+	if cl.sh.m[cl.key] == cl.e {
+		delete(cl.sh.m, cl.key)
+	}
+	cl.sh.mu.Unlock()
+	cl.e.abandoned = true // published by the close below
+	close(cl.e.done)
+}
+
+// NewCache returns an empty, unbounded block cache — the right default for
+// optimizing a fixed set of models, where the entry count is bounded by
+// the models' distinct block structures.
+func NewCache() *Cache { return NewCacheSize(0) }
+
+// NewCacheSize returns an empty cache holding at most maxEntries completed
+// entries (0 or negative = unbounded). Long-running processes optimizing
+// arbitrary client-supplied graphs — the serving tier — should be bounded:
+// the cache otherwise only ever grows. Over capacity, arbitrary completed
+// entries are shed (eviction costs a re-search, never correctness);
+// in-flight claims are never evicted.
+func NewCacheSize(maxEntries int) *Cache {
+	c := &Cache{}
+	if maxEntries > 0 {
+		c.perShardCap = (maxEntries + shardCount - 1) / shardCount
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cell)
+	}
+	return c
+}
+
+// trimShardLocked sheds completed entries until the shard has room for
+// one more (callers insert right after). Caller holds sh.mu. Map
+// iteration order is effectively random, which is exactly the cheap
+// eviction policy wanted here.
+func (c *Cache) trimShardLocked(sh *cacheShard) {
+	if c.perShardCap <= 0 {
+		return
+	}
+	for k, e := range sh.m {
+		if len(sh.m) < c.perShardCap {
+			return
+		}
+		if !e.completed() {
+			continue // never evict an in-flight claim
+		}
+		delete(sh.m, k)
+		c.size.Add(-1)
+		c.evicted.Add(1)
+	}
+}
+
+// GetOrBegin looks up a block fingerprint. On a hit (or after waiting out
+// another goroutine's in-flight search of the same key) it returns the
+// cached entry and a nil Claim. On a miss it returns a non-nil Claim: the
+// caller now owns the key and must search and Commit (or Abandon on
+// failure). A waiter whose own ctx ends returns ctx.Err() without
+// disturbing the in-flight search; a waiter that observes the owner
+// abandon retries the key and may become the new owner.
+//
+// The key may point into a reusable scratch buffer: the cache copies it on
+// insertion and never retains the caller's slice.
+func (c *Cache) GetOrBegin(ctx context.Context, key []byte) (*Entry, *Claim, error) {
+	sh := &c.shards[shardOf(key)]
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		sh.mu.Lock()
+		e, ok := sh.m[string(key)] // no-copy map lookup
+		if !ok {
+			ks := string(key)
+			e = &cell{done: make(chan struct{})}
+			c.trimShardLocked(sh)
+			sh.m[ks] = e
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			return nil, &Claim{c: c, sh: sh, key: ks, e: e}, nil
+		}
+		sh.mu.Unlock()
+		if e.completed() {
+			if e.abandoned {
+				continue // owner died between our lookup and now; retry
+			}
+			c.hits.Add(1)
+			return e.val, nil, nil
+		}
+		// In flight on another goroutine: wait for its Commit or Abandon,
+		// or for our own context to end.
+		c.coalesced.Add(1)
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+		if e.abandoned {
+			// The owner released without a result and removed the cell;
+			// retry the key — we (or another waiter) become the new owner.
+			continue
+		}
+		return e.val, nil, nil
+	}
+}
+
+// Lookup returns the entry for a completed fingerprint without claiming or
+// waiting; it reports false for absent, in-flight, and just-abandoned
+// keys. Counters are untouched. Intended for tests and tooling.
+func (c *Cache) Lookup(key []byte) (*Entry, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)]
+	sh.mu.Unlock()
+	if !ok || !e.completed() || e.abandoned {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// insert adds a completed entry if the key is absent (used by Load; an
+// existing cell — completed or in flight — wins, since by construction
+// both sides hold the result of the same deterministic search). Reports
+// whether it inserted.
+func (c *Cache) insert(key string, v *Entry) bool {
+	sh := &c.shards[shardOf([]byte(key))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false
+	}
+	c.trimShardLocked(sh)
+	sh.m[key] = doneCell(v)
+	c.size.Add(1)
+	return true
+}
+
+// Len returns the number of completed entries (O(1): a counter, not a
+// shard scan).
+func (c *Cache) Len() int { return int(c.size.Load()) }
+
+// Stats is a snapshot of the cache's traffic counters. All counters are
+// cumulative since the cache was created.
+type Stats struct {
+	// Size is the number of resident completed entries.
+	Size int `json:"size"`
+	// Hits served a completed block schedule without searching.
+	Hits int64 `json:"hits"`
+	// Misses claimed a fingerprint and ran the block's DP search.
+	Misses int64 `json:"misses"`
+	// Coalesced requests arrived while the same fingerprint was being
+	// searched and waited for that in-flight run instead of starting
+	// their own — the singleflight dedup count.
+	Coalesced int64 `json:"coalesced"`
+	// Loaded counts entries inserted from a persisted cache file.
+	Loaded int64 `json:"loaded"`
+	// Evicted counts completed entries shed over capacity (0 for
+	// unbounded caches).
+	Evicted int64 `json:"evicted"`
+}
+
+// Saved returns the number of block DP searches the cache avoided: every
+// hit and every coalesced wait would have been a full search.
+func (s Stats) Saved() int64 { return s.Hits + s.Coalesced }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Size:      c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Loaded:    c.loaded.Load(),
+		Evicted:   c.evicted.Load(),
+	}
+}
+
+// shardOf hashes a key to its shard (FNV-1a over the bytes, high bits
+// folded in — the measurement cache's recipe; this is not the lookup hash,
+// Go's map provides that).
+func shardOf(key []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int((h ^ h>>32) & (shardCount - 1))
+}

@@ -1,0 +1,401 @@
+package blockcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ios/internal/schedule"
+)
+
+// entryFor builds a trivially valid n-op entry: one concurrent stage per
+// operator, so validate and Rebind accept it.
+func entryFor(n int) *Entry {
+	e := &Entry{Ops: n, States: n, Transitions: n}
+	for i := 0; i < n; i++ {
+		e.Stages = append(e.Stages, Stage{Strategy: schedule.Concurrent, Groups: [][]int{{i}}})
+	}
+	return e
+}
+
+func key(s string) []byte { return append([]byte{KeyVersion}, s...) }
+
+func TestGetOrBeginMissCommitHit(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	ent, claim, err := c.GetOrBegin(ctx, key("a"))
+	if err != nil || ent != nil || claim == nil {
+		t.Fatalf("first GetOrBegin = (%v, %v, %v), want a claim", ent, claim, err)
+	}
+	want := entryFor(2)
+	claim.Commit(want)
+	got, claim2, err := c.GetOrBegin(ctx, key("a"))
+	if err != nil || claim2 != nil {
+		t.Fatalf("second GetOrBegin = (_, %v, %v), want a hit", claim2, err)
+	}
+	if got != want {
+		t.Fatalf("hit returned %+v, want the committed entry", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Saved() != 1 {
+		t.Fatalf("Saved() = %d, want 1", st.Saved())
+	}
+}
+
+func TestGetOrBeginKeyIsCopied(t *testing.T) {
+	c := NewCache()
+	k := key("scratch")
+	_, claim, _ := c.GetOrBegin(context.Background(), k)
+	claim.Commit(entryFor(1))
+	for i := range k {
+		k[i] = 0xFF // clobber the caller's buffer
+	}
+	if _, ok := c.Lookup(key("scratch")); !ok {
+		t.Fatal("clobbering the caller's key buffer lost the entry: the cache retained the slice")
+	}
+}
+
+func TestGetOrBeginCancelledWaiter(t *testing.T) {
+	c := NewCache()
+	_, claim, _ := c.GetOrBegin(context.Background(), key("slow"))
+	defer claim.Abandon()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBegin(ctx, key("slow"))
+		done <- err
+	}()
+	// The waiter must park on the in-flight cell, then honor its own ctx.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter stayed wedged behind the in-flight search")
+	}
+}
+
+// TestSingleflightCoalesces: concurrent requesters of one missing key get
+// exactly one claim; the rest wait and read the single committed value.
+func TestSingleflightCoalesces(t *testing.T) {
+	c := NewCache()
+	const n = 16
+	var (
+		claims  int64
+		hits    int64
+		mu      sync.Mutex
+		entries = map[*Entry]bool{}
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+	)
+	want := entryFor(3)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ent, claim, err := c.GetOrBegin(context.Background(), key("k"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if claim != nil {
+				claims++
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond) // let waiters pile up
+				claim.Commit(want)
+				mu.Lock()
+				return
+			}
+			hits++
+			entries[ent] = true
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if claims != 1 {
+		t.Fatalf("%d goroutines claimed the key, want exactly 1", claims)
+	}
+	if hits != n-1 {
+		t.Fatalf("%d goroutines read the entry, want %d", hits, n-1)
+	}
+	if len(entries) != 1 || !entries[want] {
+		t.Fatalf("readers saw %d distinct entries, want exactly the committed one", len(entries))
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+coalesced", st, n-1)
+	}
+}
+
+// TestAbandonUnwedgesWaiters: an abandoned claim (cancelled or panicked
+// owner) releases waiters to retry; one becomes the new owner and the key
+// stays searchable — a cancelled fill never poisons it.
+func TestAbandonUnwedgesWaiters(t *testing.T) {
+	c := NewCache()
+	_, claim, _ := c.GetOrBegin(context.Background(), key("k"))
+
+	want := entryFor(1)
+	got := make(chan *Entry, 1)
+	go func() {
+		ent, cl2, err := c.GetOrBegin(context.Background(), key("k"))
+		if err != nil {
+			t.Error(err)
+			got <- nil
+			return
+		}
+		if cl2 != nil {
+			// This waiter won the retry: it is the new owner.
+			cl2.Commit(want)
+			ent = want
+		}
+		got <- ent
+	}()
+	time.Sleep(10 * time.Millisecond)
+	claim.Abandon()
+	select {
+	case ent := <-got:
+		if ent != want {
+			t.Fatalf("waiter read %+v after abandon, want the retry's entry", ent)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stayed wedged after the owner abandoned")
+	}
+	if _, ok := c.Lookup(key("k")); !ok {
+		t.Fatal("key not searchable after abandon + retry commit")
+	}
+}
+
+// TestAbandonOnPanicUnwedges mirrors how core uses the claim: the owner's
+// deferred Abandon runs even when the search panics, so a shared cache
+// never wedges the fingerprint.
+func TestAbandonOnPanicUnwedges(t *testing.T) {
+	c := NewCache()
+	func() {
+		defer func() { recover() }()
+		_, claim, _ := c.GetOrBegin(context.Background(), key("p"))
+		committed := false
+		defer func() {
+			if !committed {
+				claim.Abandon()
+			}
+		}()
+		panic("backend exploded mid-search")
+	}()
+	// The key must be claimable again, promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ent, claim, err := c.GetOrBegin(ctx, key("p"))
+	if err != nil || ent != nil || claim == nil {
+		t.Fatalf("GetOrBegin after panicked fill = (%v, %v, %v), want a fresh claim", ent, claim, err)
+	}
+	claim.Commit(entryFor(1))
+	if _, ok := c.Lookup(key("p")); !ok {
+		t.Fatal("key not searchable after a panicked fill was abandoned")
+	}
+}
+
+func TestCapacityBoundSheds(t *testing.T) {
+	c := NewCacheSize(shardCount) // one completed entry per shard
+	for i := 0; i < 10*shardCount; i++ {
+		_, claim, _ := c.GetOrBegin(context.Background(), key(fmt.Sprintf("k%d", i)))
+		claim.Commit(entryFor(1))
+	}
+	if n := c.Len(); n > shardCount {
+		t.Fatalf("bounded cache holds %d entries, cap %d", n, shardCount)
+	}
+	if ev := c.Stats().Evicted; ev == 0 {
+		t.Fatal("no evictions counted despite overflowing the cap")
+	}
+	// In-flight claims are never evicted: overflow the shard of a live claim.
+	c2 := NewCacheSize(shardCount)
+	_, live, _ := c2.GetOrBegin(context.Background(), key("live"))
+	for i := 0; i < 10*shardCount; i++ {
+		_, cl, _ := c2.GetOrBegin(context.Background(), key(fmt.Sprintf("x%d", i)))
+		cl.Commit(entryFor(1))
+	}
+	live.Commit(entryFor(2))
+	if ent, ok := c2.Lookup(key("live")); !ok || ent.Ops != 2 {
+		t.Fatal("in-flight claim was evicted by capacity pressure")
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	bad := []*Entry{
+		{Ops: 0},
+		{Ops: 1, States: -1, Stages: []Stage{{Strategy: schedule.Concurrent, Groups: [][]int{{0}}}}},
+		{Ops: 1, Stages: []Stage{{Strategy: schedule.Strategy(99), Groups: [][]int{{0}}}}},
+		{Ops: 1, Stages: []Stage{{Strategy: schedule.Concurrent}}},                               // no groups
+		{Ops: 1, Stages: []Stage{{Strategy: schedule.Concurrent, Groups: [][]int{{}}}}},         // empty group
+		{Ops: 1, Stages: []Stage{{Strategy: schedule.Concurrent, Groups: [][]int{{1}}}}},        // out of range
+		{Ops: 2, Stages: []Stage{{Strategy: schedule.Concurrent, Groups: [][]int{{0}, {0}}}}},   // duplicate
+		{Ops: 2, Stages: []Stage{{Strategy: schedule.Concurrent, Groups: [][]int{{0}}}}},        // incomplete
+	}
+	for i, e := range bad {
+		if err := e.validate(); err == nil {
+			t.Errorf("bad entry %d validated: %+v", i, e)
+		}
+	}
+	if err := entryFor(3).validate(); err != nil {
+		t.Errorf("good entry rejected: %v", err)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	c := NewCache()
+	for i := 1; i <= 5; i++ {
+		_, claim, _ := c.GetOrBegin(context.Background(), key(fmt.Sprintf("k%d", i)))
+		e := entryFor(i)
+		e.Stages[0].Strategy = schedule.Merge
+		claim.Commit(e)
+	}
+	// An in-flight claim must be skipped, not persisted half-done.
+	_, pending, _ := c.GetOrBegin(context.Background(), key("pending"))
+	defer pending.Abandon()
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache()
+	n, err := c2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || c2.Len() != 5 {
+		t.Fatalf("loaded %d entries (len %d), want 5", n, c2.Len())
+	}
+	if st := c2.Stats(); st.Loaded != 5 {
+		t.Fatalf("Loaded counter = %d, want 5", st.Loaded)
+	}
+	for i := 1; i <= 5; i++ {
+		got, ok := c2.Lookup(key(fmt.Sprintf("k%d", i)))
+		if !ok {
+			t.Fatalf("entry k%d missing after round trip", i)
+		}
+		want := entryFor(i)
+		want.Stages[0].Strategy = schedule.Merge
+		if got.Ops != want.Ops || got.States != want.States || got.Transitions != want.Transitions ||
+			len(got.Stages) != len(want.Stages) {
+			t.Fatalf("entry k%d mutated in round trip: %+v vs %+v", i, got, want)
+		}
+		for s := range got.Stages {
+			if got.Stages[s].Strategy != want.Stages[s].Strategy ||
+				fmt.Sprint(got.Stages[s].Groups) != fmt.Sprint(want.Stages[s].Groups) {
+				t.Fatalf("entry k%d stage %d mutated: %+v vs %+v", i, s, got.Stages[s], want.Stages[s])
+			}
+		}
+	}
+	if _, ok := c2.Lookup(key("pending")); ok {
+		t.Fatal("in-flight claim was persisted")
+	}
+	// Reloading over a warm cache keeps the resident entries (no overwrite).
+	before, _ := c2.Lookup(key("k1"))
+	if n, err := c2.Load(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("reload = (%d, %v), want (0, nil): resident fingerprints win", n, err)
+	}
+	if after, _ := c2.Lookup(key("k1")); after != before {
+		t.Fatal("reload replaced a resident entry")
+	}
+}
+
+// TestLoadCorruptWholeRejection: any defect anywhere in the file rejects
+// the whole file and leaves the cache untouched — never a partial load.
+func TestLoadCorruptWholeRejection(t *testing.T) {
+	// A valid file to mutate.
+	c := NewCache()
+	for i := 0; i < 3; i++ {
+		_, claim, _ := c.GetOrBegin(context.Background(), key(fmt.Sprintf("k%d", i)))
+		claim.Commit(entryFor(2))
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	var f cacheFile
+	if err := json.Unmarshal([]byte(good), &f); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(*cacheFile)) string {
+		var g cacheFile
+		if err := json.Unmarshal([]byte(good), &g); err != nil {
+			t.Fatal(err)
+		}
+		fn(&g)
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	cases := map[string]string{
+		"truncated JSON":   good[:len(good)/2],
+		"not JSON":         "block schedules ahoy",
+		"wrong version":    mutate(func(g *cacheFile) { g.Version = fileVersion + 1 }),
+		"bad base64 key":   mutate(func(g *cacheFile) { g.Entries[1].Key = "!!!" }),
+		"empty key":        mutate(func(g *cacheFile) { g.Entries[1].Key = "" }),
+		"old key version":  mutate(func(g *cacheFile) { g.Entries[1].Key = base64.RawURLEncoding.EncodeToString([]byte{KeyVersion + 1, 'x'}) }),
+		"unknown strategy": mutate(func(g *cacheFile) { g.Entries[2].Stages[0].Strategy = "quantum" }),
+		"op out of range":  mutate(func(g *cacheFile) { g.Entries[0].Stages[0].Groups = [][]int{{7}} }),
+		"op twice":         mutate(func(g *cacheFile) { g.Entries[0].Stages[0].Groups = [][]int{{0}, {0}} }),
+		"incomplete":       mutate(func(g *cacheFile) { g.Entries[0].Stages = g.Entries[0].Stages[:1] }),
+	}
+	for name, data := range cases {
+		fresh := NewCache()
+		if _, err := fresh.Load(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: Load accepted a corrupt file", name)
+		}
+		if fresh.Len() != 0 {
+			t.Errorf("%s: corrupt load left %d entries resident, want 0 (all-or-nothing)", name, fresh.Len())
+		}
+		if fresh.Stats().Loaded != 0 {
+			t.Errorf("%s: corrupt load bumped the Loaded counter", name)
+		}
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blocks.json")
+	c := NewCache()
+	_, claim, _ := c.GetOrBegin(context.Background(), key("k"))
+	claim.Commit(entryFor(4))
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter after a successful rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save left %d files in the directory, want just the cache", len(entries))
+	}
+	c2 := NewCache()
+	n, err := c2.LoadFile(path)
+	if err != nil || n != 1 {
+		t.Fatalf("LoadFile = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, err := c2.LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadFile of a missing path succeeded")
+	}
+}

@@ -1,0 +1,167 @@
+package blockcache
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ios/internal/schedule"
+)
+
+// fileVersion is the persisted-file format version (independent of
+// KeyVersion, which versions the fingerprint encoding itself and is
+// embedded in every key's first byte).
+const fileVersion = 1
+
+// cacheFile is the persisted JSON form of a cache: a version stamp plus
+// one (fingerprint, canonical schedule, search cost) record per completed
+// entry.
+type cacheFile struct {
+	Version int         `json:"version"`
+	Entries []fileEntry `json:"entries"`
+}
+
+type fileEntry struct {
+	// Key is the canonical block fingerprint, base64 (raw URL alphabet).
+	Key string `json:"key"`
+	// Ops is the block's operator count.
+	Ops int `json:"ops"`
+	// States and Transitions are the recorded DP search cost.
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+	// Stages is the canonical stage list over block-local indices.
+	Stages []fileStage `json:"stages"`
+}
+
+type fileStage struct {
+	Strategy string  `json:"strategy"`
+	Groups   [][]int `json:"groups"`
+}
+
+// Save writes every completed entry as JSON. In-flight entries are skipped
+// (their owners have not published a schedule yet). The output is
+// deterministic in content but not in order.
+func (c *Cache) Save(w io.Writer) error {
+	out := cacheFile{Version: fileVersion}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if !e.completed() || e.abandoned {
+				continue
+			}
+			fe := fileEntry{
+				Key:         base64.RawURLEncoding.EncodeToString([]byte(k)),
+				Ops:         e.val.Ops,
+				States:      e.val.States,
+				Transitions: e.val.Transitions,
+			}
+			for _, st := range e.val.Stages {
+				fe.Stages = append(fe.Stages, fileStage{Strategy: st.Strategy.String(), Groups: st.Groups})
+			}
+			out.Entries = append(out.Entries, fe)
+		}
+		sh.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load merges a previously saved cache into c, returning how many entries
+// were added (already-present fingerprints are kept, not overwritten —
+// both sides hold the result of the same deterministic search).
+//
+// Load is all-or-nothing: the whole file is parsed and validated before a
+// single entry is inserted, so a corrupt, truncated, or version-mismatched
+// file returns an error and leaves the cache exactly as it was — callers
+// fall back to a cold cache instead of half-poisoned state. Validation
+// covers the fingerprint encoding version and every entry's structural
+// consistency (each block operator scheduled exactly once, strategies
+// known, groups non-empty).
+func (c *Cache) Load(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("blockcache: read cache: %w", err)
+	}
+	var in cacheFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return 0, fmt.Errorf("blockcache: parse cache: %w", err)
+	}
+	if in.Version != fileVersion {
+		return 0, fmt.Errorf("blockcache: cache file version %d, want %d", in.Version, fileVersion)
+	}
+	keys := make([]string, len(in.Entries))
+	vals := make([]*Entry, len(in.Entries))
+	for i, fe := range in.Entries {
+		raw, err := base64.RawURLEncoding.DecodeString(fe.Key)
+		if err != nil {
+			return 0, fmt.Errorf("blockcache: cache entry %d: bad key: %w", i, err)
+		}
+		if len(raw) == 0 || raw[0] != KeyVersion {
+			return 0, fmt.Errorf("blockcache: cache entry %d: key encoding version mismatch (cache built by an incompatible version)", i)
+		}
+		v := &Entry{Ops: fe.Ops, States: fe.States, Transitions: fe.Transitions}
+		for si, fs := range fe.Stages {
+			strat, err := parseStrategy(fs.Strategy)
+			if err != nil {
+				return 0, fmt.Errorf("blockcache: cache entry %d: stage %d: %w", i, si+1, err)
+			}
+			v.Stages = append(v.Stages, Stage{Strategy: strat, Groups: fs.Groups})
+		}
+		if err := v.validate(); err != nil {
+			return 0, fmt.Errorf("blockcache: cache entry %d: %w", i, err)
+		}
+		keys[i], vals[i] = string(raw), v
+	}
+	added := 0
+	for i := range keys {
+		if c.insert(keys[i], vals[i]) {
+			added++
+		}
+	}
+	c.loaded.Add(int64(added))
+	return added, nil
+}
+
+// parseStrategy maps a persisted strategy name back to its value,
+// accepting the same spellings as schedule.FromJSON.
+func parseStrategy(name string) (schedule.Strategy, error) {
+	switch name {
+	case schedule.Concurrent.String(), "concurrent":
+		return schedule.Concurrent, nil
+	case schedule.Merge.String(), "merge":
+		return schedule.Merge, nil
+	}
+	return 0, fmt.Errorf("blockcache: unknown strategy %q", name)
+}
+
+// SaveFile writes the cache to path (via a temp file + rename, so a crash
+// mid-save never truncates a previously good cache file).
+func (c *Cache) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".block-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile merges the cache file at path into c; see Load.
+func (c *Cache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

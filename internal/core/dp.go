@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ios/internal/bitset"
+	"ios/internal/blockcache"
 	"ios/internal/graph"
 	"ios/internal/profile"
 	"ios/internal/schedule"
@@ -174,6 +175,14 @@ func OptimizeBlock(b *graph.Block, prof *profile.Profiler, opts Options) ([]sche
 // observed at every level barrier and by every engine worker between
 // states, partial results are discarded, and the wrapped ctx.Err() is
 // returned (see OptimizeContext).
+//
+// When a whole-block schedule cache is attached (Options.WithBlockCache)
+// and the profiler is noise-free, the block's canonical structural
+// fingerprint is consulted first: a hit rebinds the cached schedule onto
+// this block's nodes without running the search, a miss claims the
+// fingerprint (concurrent searches of the same structure wait for this
+// one) and publishes the result on success. A search that fails or is
+// cancelled abandons its claim so the fingerprint stays searchable.
 func OptimizeBlockContext(ctx context.Context, b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
@@ -186,12 +195,64 @@ func OptimizeBlockContext(ctx context.Context, b *graph.Block, prof *profile.Pro
 		return nil, Stats{}, wrapCancelled(err)
 	}
 	m0 := prof.Measurements
+
+	// The block cache is bypassed while Noise > 0: noisy searches draw
+	// from the profiler's RNG stream and are not pure functions of block
+	// structure (the measurement cache applies the same rule).
+	var claim *blockcache.Claim
+	var key []byte
+	if bc := opts.blockCache; bc != nil && prof.Noise <= 0 {
+		key = blockcache.Fingerprint(b, prof, opts.Fingerprint())
+		ent, cl, err := bc.GetOrBegin(ctx, key)
+		if err != nil {
+			return nil, Stats{}, wrapCancelled(err)
+		}
+		if cl == nil {
+			if stages, rerr := blockcache.Rebind(b, ent); rerr == nil {
+				// Keep the progress stream's cumulative counters in sync
+				// with the final Stats, which include the recorded cost.
+				opts.tracker.emit(b.Index+1, len(b.Nodes), "cached", len(b.Nodes),
+					ent.States, ent.Transitions, 0)
+				stats := Stats{States: ent.States, Transitions: ent.Transitions,
+					Measurements: prof.Measurements - m0}
+				return stages, stats, nil
+			}
+			// A structurally invalid entry (possible only through a
+			// corrupted shared cache) falls back to an uncached search
+			// rather than failing the optimization.
+		} else {
+			claim = cl
+		}
+	}
+	committed := false
+	if claim != nil {
+		// An error, a cancellation, or a panicking backend must not leave
+		// the claimed fingerprint wedged for every future requester of a
+		// shared cache: abandon so waiters retry and the key stays
+		// searchable.
+		defer func() {
+			if !committed {
+				claim.Abandon()
+			}
+		}()
+	}
+
 	e := newEngine(b, prof, opts)
 	stages, stats, err := e.run(ctx)
 	e.close()
 	stats.Measurements = prof.Measurements - m0
 	if err != nil {
 		return nil, stats, err
+	}
+	if claim != nil {
+		if cs, cerr := blockcache.Canonicalize(b, stages); cerr == nil {
+			claim.Commit(&blockcache.Entry{
+				Ops:    len(b.Nodes),
+				Stages: cs,
+				States: stats.States, Transitions: stats.Transitions,
+			})
+			committed = true
+		}
 	}
 	return stages, stats, nil
 }

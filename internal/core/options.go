@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+
+	"ios/internal/blockcache"
 )
 
 // StrategySet selects which parallelization strategies GENERATESTAGE may
@@ -156,7 +158,38 @@ type Options struct {
 	// fields (see OptimizeWithProgress): a func field would make Options
 	// non-comparable, a silent API break for code using == or map keys.
 	tracker *progressTracker
+
+	// blockCache, when non-nil, is the shared whole-block schedule cache
+	// consulted before every block DP search (see WithBlockCache). Like
+	// tracker it is a pure execution knob living outside the exported
+	// fields — a pointer keeps Options comparable, and Fingerprint
+	// deliberately excludes it: cached schedules are exact search outputs,
+	// so results are bit-identical with the cache on or off.
+	blockCache *blockcache.Cache
 }
+
+// WithBlockCache returns the options with a shared whole-block schedule
+// cache attached: Optimize and OptimizeBlock consult it before launching a
+// block's DP search, keyed by the block's canonical structural fingerprint
+// (blockcache.Fingerprint), and fill it with the search result on a miss.
+// Concurrent searches of the same structure coalesce into one. Cached
+// schedules are rebound onto the requesting block's nodes and are
+// bit-identical to what the search would have produced; a hit reports the
+// entry's recorded States and Transitions as its search cost, so
+// statistics stay comparable across cached and uncached runs, while
+// Measurements always counts actual simulator invocations.
+//
+// The cache is bypassed while the profiler has measurement noise enabled
+// (noisy searches are not pure functions of block structure), matching the
+// measurement cache's convention. nil detaches.
+func (o Options) WithBlockCache(c *blockcache.Cache) Options {
+	o.blockCache = c
+	return o
+}
+
+// BlockCache returns the attached whole-block schedule cache (nil if
+// none).
+func (o Options) BlockCache() *blockcache.Cache { return o.blockCache }
 
 // withDefaults fills unset options. It is idempotent: explicit unbounded
 // bounds stay -1 (NOT normalized to 0, which would make them

@@ -1,0 +1,119 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ios/internal/blockcache"
+	"ios/internal/core"
+	"ios/internal/profile"
+	"ios/internal/report"
+)
+
+// BlockRow is one block-cache record: the block-DP cost of optimizing a
+// network without the whole-block schedule cache, with a cold cache (the
+// first search fills it, paying one DP search per distinct block
+// structure), and with the warm cache (a repeat search — the serving
+// tier's warm-restart case — which runs zero block searches). Schedules
+// are bit-identical in all three runs — Identical asserts it — so the
+// rows isolate pure search dedup: on cell-structured networks like
+// NasNet-A, ColdSearches collapses to the number of distinct cell
+// structures while Blocks counts every repetition. cmd/iosbench
+// serializes these as BENCH_blocks.json so successive PRs have a perf
+// trajectory for the cache.
+type BlockRow struct {
+	Network string `json:"network"`
+	Ops     int    `json:"ops"`
+	// Blocks is the block count of the partition — the number of DP
+	// searches the uncached engine runs.
+	Blocks int `json:"blocks"`
+	// ColdSearches is the number of block DP searches the cold cached run
+	// actually executed (cache misses): the distinct-structure count.
+	// WarmSearches is the same for the repeat run and must be zero.
+	ColdSearches int64 `json:"cold_searches"`
+	WarmSearches int64 `json:"warm_searches"`
+	// Hits/Saved are the cache's counters after both cached runs
+	// (Saved = hits + coalesced waits = block searches avoided).
+	Hits  int64 `json:"hits"`
+	Saved int64 `json:"saved"`
+	// Entries is the resident fingerprint count after both runs.
+	Entries int `json:"entries"`
+	// Wall-clock per variant, milliseconds.
+	UncachedWallMS float64 `json:"uncached_wall_ms"`
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	// Identical reports that all three runs produced bit-identical
+	// schedules and identical search statistics (it must always be true;
+	// rows with false indicate a fingerprint soundness bug).
+	Identical bool `json:"identical"`
+}
+
+// BlockCacheRows runs the uncached/cold/warm comparison over the
+// benchmark networks.
+func BlockCacheRows(c Config) ([]BlockRow, error) {
+	c = c.withDefaults()
+	var rows []BlockRow
+	names, graphs := c.benchmarks()
+	for i, g := range graphs {
+		timed := func(opts core.Options) (*core.Result, float64, error) {
+			start := time.Now()
+			res, err := core.Optimize(g, profile.New(c.Device), opts)
+			return res, float64(time.Since(start)) / 1e6, err
+		}
+		uncached, uncachedMS, err := timed(c.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s uncached: %w", names[i], err)
+		}
+		cache := blockcache.NewCache()
+		cold, coldMS, err := timed(c.Opts.WithBlockCache(cache))
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s cold cache: %w", names[i], err)
+		}
+		coldSearches := cache.Stats().Misses
+		warm, warmMS, err := timed(c.Opts.WithBlockCache(cache))
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s warm cache: %w", names[i], err)
+		}
+		st := cache.Stats()
+		rows = append(rows, BlockRow{
+			Network:        names[i],
+			Ops:            len(g.SchedulableNodes()),
+			Blocks:         uncached.Stats.Blocks,
+			ColdSearches:   coldSearches,
+			WarmSearches:   st.Misses - coldSearches,
+			Hits:           st.Hits,
+			Saved:          st.Saved(),
+			Entries:        st.Size,
+			UncachedWallMS: uncachedMS,
+			ColdWallMS:     coldMS,
+			WarmWallMS:     warmMS,
+			Identical: cold.Schedule.String() == uncached.Schedule.String() &&
+				warm.Schedule.String() == uncached.Schedule.String() &&
+				cold.Stats.States == uncached.Stats.States &&
+				warm.Stats.States == uncached.Stats.States &&
+				cold.Stats.Transitions == uncached.Stats.Transitions &&
+				warm.Stats.Transitions == uncached.Stats.Transitions,
+		})
+	}
+	return rows, nil
+}
+
+// BlockCache renders the BlockCacheRows table (experiment id
+// "block-cache").
+func BlockCache(c Config, w io.Writer) error {
+	rows, err := BlockCacheRows(c)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Block cache: DP searches per Optimize on %s (schedules bit-identical in every variant)",
+		c.withDefaults().Device.Name),
+		"network", "ops", "blocks", "cold searches", "warm searches", "saved", "uncached ms", "cold ms", "warm ms", "identical")
+	for _, r := range rows {
+		t.AddRow(r.Network, r.Ops, r.Blocks, r.ColdSearches, r.WarmSearches,
+			r.Saved, r.UncachedWallMS, r.ColdWallMS, r.WarmWallMS, r.Identical)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(cold = first search fills the cache, one DP search per distinct block structure; warm = repeat search, zero block searches)")
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ios/internal/baseline"
+	"ios/internal/blockcache"
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/graph"
@@ -50,6 +51,33 @@ func SharedMeasureCache() *measure.Cache {
 	return sharedMeasureCache
 }
 
+// DefaultBlockCacheSize bounds the process-wide default whole-block
+// schedule cache. One entry is a complete block schedule (a few stages of
+// small index lists), and real networks contribute a handful of distinct
+// block structures each, so this cap holds the zoo many times over while
+// bounding a daemon optimizing arbitrary client graphs. Entries over
+// capacity are shed and simply re-searched on next use.
+const DefaultBlockCacheSize = 1 << 14
+
+// sharedBlockCache is the process-wide default whole-block schedule
+// cache: servers whose Config does not name one all share it, so every
+// block DP search in the process — across servers, models, and requests —
+// deduplicates against a single table, and a cold /optimize for a deep
+// network pays one search per distinct block structure instead of one per
+// block. Lazily built, like sharedMeasureCache.
+var (
+	sharedBlockOnce  sync.Once
+	sharedBlockCache *blockcache.Cache
+)
+
+// SharedBlockCache returns the process-wide whole-block schedule cache
+// (bounded at DefaultBlockCacheSize entries) used by servers with no
+// explicit Config.BlockCache.
+func SharedBlockCache() *blockcache.Cache {
+	sharedBlockOnce.Do(func() { sharedBlockCache = blockcache.NewCacheSize(DefaultBlockCacheSize) })
+	return sharedBlockCache
+}
+
 // DefaultCacheSize is the schedule-cache capacity a zero Config gets: big
 // enough for every zoo model at several batch sizes on several devices.
 const DefaultCacheSize = 256
@@ -77,6 +105,12 @@ type Config struct {
 	// so all servers in a process amortize each other's work; results
 	// are bit-identical with or without it.
 	MeasureCache *measure.Cache
+	// BlockCache deduplicates whole-block DP searches by canonical
+	// structural fingerprint across every optimization this server runs.
+	// nil selects the process-wide SharedBlockCache; results are
+	// bit-identical with or without it — only the number of block
+	// searches drops.
+	BlockCache *blockcache.Cache
 	// Plans are batch-specialization plans registered at construction:
 	// /optimize requests matching a plan's (model, device, options) are
 	// served from its specialized schedules, with nearest-batch routing
@@ -107,6 +141,7 @@ type Server struct {
 	cfg     Config
 	cache   *ScheduleCache
 	measure *measure.Cache
+	blocks  *blockcache.Cache
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -175,7 +210,11 @@ func NewServer(cfg Config) *Server {
 	if mc == nil {
 		mc = SharedMeasureCache()
 	}
-	s := &Server{cfg: cfg, cache: cache, measure: mc, mux: http.NewServeMux(), start: time.Now(),
+	bc := cfg.BlockCache
+	if bc == nil {
+		bc = SharedBlockCache()
+	}
+	s := &Server{cfg: cfg, cache: cache, measure: mc, blocks: bc, mux: http.NewServeMux(), start: time.Now(),
 		plans: make(map[planKey]*plan.Plan), planMemo: make(map[planMemoKey]*planServed)}
 	for _, p := range cfg.Plans {
 		if err := s.RegisterPlan(p); err != nil {
@@ -244,6 +283,10 @@ func (s *Server) Cache() *ScheduleCache { return s.cache }
 // MeasureCache returns the server's structural measurement cache (the
 // process-wide shared instance unless Config named one).
 func (s *Server) MeasureCache() *measure.Cache { return s.measure }
+
+// BlockCache returns the server's whole-block schedule cache (the
+// process-wide shared instance unless Config named one).
+func (s *Server) BlockCache() *blockcache.Cache { return s.blocks }
 
 // newProfiler builds a profiler for a device with the server's shared
 // measurement cache attached, so every request's simulator work feeds and
@@ -377,6 +420,10 @@ type StatsResponse struct {
 	// MeasureCache reports the structural measurement cache: simulator
 	// invocations deduplicated across every request in the process.
 	MeasureCache measure.Stats `json:"measure_cache"`
+	// BlockCache reports the whole-block schedule cache: block DP
+	// searches deduplicated by structural fingerprint across every
+	// optimization in the process.
+	BlockCache blockcache.Stats `json:"block_cache"`
 	// Plan reports batch-specialization routing: how many requests were
 	// served from registered plans and at what recorded penalty.
 	Plan PlanStats `json:"plan"`
@@ -491,7 +538,7 @@ func (s *Server) entry(ctx context.Context, res *resolved) (*Entry, bool, error)
 			return nil, err
 		}
 		prof := s.newProfiler(res.spec)
-		out, err := core.OptimizeContext(ctx, g, prof, res.opts)
+		out, err := core.OptimizeContext(ctx, g, prof, res.opts.WithBlockCache(s.blocks))
 		if err != nil {
 			return nil, err
 		}
@@ -578,7 +625,7 @@ func (s *Server) WarmPlans(ctx context.Context, names []string, batches []int) e
 			Graph:       entry.Build(1),
 			Batches:     batches,
 			Device:      s.cfg.Device.Name,
-			Opts:        opts,
+			Opts:        opts.WithBlockCache(s.blocks),
 			Workers:     opts.Workers,
 			NewProfiler: func() *profile.Profiler { return s.newProfiler(s.cfg.Device) },
 		})
@@ -905,6 +952,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Cache:        s.cache.Stats(),
 		MeasureCache: s.measure.Stats(),
+		BlockCache:   s.blocks.Stats(),
 		Plan:         planStats,
 	})
 }

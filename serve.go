@@ -54,3 +54,9 @@ func NewScheduleCache(capacity int) *ScheduleCache { return serve.NewScheduleCac
 // to WithMeasureCache to let library Engines share the serving tier's
 // deduplicated simulator work (see MeasureCache).
 func SharedMeasureCache() *MeasureCache { return serve.SharedMeasureCache() }
+
+// SharedBlockCache returns the process-wide whole-block schedule cache
+// used by servers whose ServerConfig.BlockCache is nil; pass it to
+// WithBlockCache to let library Engines share the serving tier's
+// deduplicated block searches (see BlockCache).
+func SharedBlockCache() *BlockCache { return serve.SharedBlockCache() }
