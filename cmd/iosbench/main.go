@@ -174,6 +174,48 @@ func writeSpecializeJSON(cfg expt.Config, batches []int, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// trafficBaseline is the BENCH_traffic.json schema: environment plus one
+// row per arrival regime comparing the dispatch policies.
+type trafficBaseline struct {
+	Device     string            `json:"device"`
+	Quick      bool              `json:"quick"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Rows       []expt.TrafficRow `json:"rows"`
+}
+
+// writeTrafficJSON runs the serving-under-traffic comparison (experiment
+// "traffic") and writes the baseline file future PRs diff against,
+// failing unless — under the Poisson regime — the adaptive policy beats
+// dispatch-immediately throughput while keeping p99 within the SLO.
+func writeTrafficJSON(cfg expt.Config, path string) error {
+	rows, err := expt.TrafficRows(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Regime != "poisson" {
+			continue
+		}
+		if !r.AdaptiveBeatsBatch1 {
+			return fmt.Errorf("%s/%s: adaptive throughput did not beat batch=1 (dispatch-policy regression)", r.Network, r.Regime)
+		}
+		if !r.AdaptiveWithinSLO {
+			return fmt.Errorf("%s/%s: adaptive p99 exceeded the %.1fms SLO (dispatch-policy regression)", r.Network, r.Regime, r.SLOMS)
+		}
+	}
+	out := trafficBaseline{
+		Device:     cfg.Device.Name,
+		Quick:      cfg.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // parseBatches parses the -batches sweep ("" = the experiment default).
 func parseBatches(v string) ([]int, error) {
 	if v == "" {
@@ -210,6 +252,7 @@ func main() {
 		measureJSON    = flag.String("measure-json", "", "write the measurement-cache rows (experiment \"measure-cache\": hits, misses, measurements saved) as JSON to this file and exit")
 		blocksJSON     = flag.String("blocks-json", "", "write the block-cache rows (experiment \"block-cache\": block DP searches uncached/cold/warm) as JSON to this file and exit; fails if a cached schedule diverges from the uncached oracle")
 		specializeJSON = flag.String("specialize-json", "", "write the batch-specialization rows (experiment \"specialize\": cross-batch latency and penalty matrices) as JSON to this file and exit; fails if any column's minimum leaves the diagonal")
+		trafficJSON    = flag.String("traffic-json", "", "write the serving-under-traffic rows (experiment \"traffic\": adaptive vs fixed-batch vs dispatch-immediately over seeded Poisson and bursty traces) as JSON to this file and exit; fails unless adaptive beats batch=1 throughput with p99 within SLO under Poisson")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -268,6 +311,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote batch-specialization baseline to %s\n", *specializeJSON)
+		return
+	}
+	if *trafficJSON != "" {
+		if err := writeTrafficJSON(cfg, *trafficJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "iosbench: -traffic-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote serving-under-traffic baseline to %s\n", *trafficJSON)
 		return
 	}
 

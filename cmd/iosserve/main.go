@@ -7,12 +7,19 @@
 //	iosserve                                    # serve :8080, V100
 //	iosserve -port 9090 -device 2080ti
 //	iosserve -warm inception,squeezenet -warm-batch 1,16
+//	iosserve -warm squeezenet -plan-batches 1,8,32 -auto-batch -slo 20ms
+//
+// With -auto-batch, POST /infer coalesces single-image requests into
+// batches chosen from each plan's measured latency matrix under the
+// -slo target; -plan-dir persists warmed plans across restarts.
 //
 // Endpoints (see internal/serve for the request/response schemas):
 //
 //	POST /optimize  {"model": "inception_v3", "batch": 1}
 //	POST /measure   {"model": "inception_v3", "baseline": "sequential"}
+//	POST /infer     {"model": "squeezenet"}          (requires -auto-batch)
 //	GET  /models
+//	GET  /plans
 //	GET  /stats
 //
 // Try it:
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,6 +47,7 @@ import (
 	"ios/internal/core"
 	"ios/internal/gpusim"
 	"ios/internal/measure"
+	"ios/internal/plan"
 	"ios/internal/serve"
 )
 
@@ -60,6 +69,10 @@ func main() {
 		mcacheSize = flag.Int("measure-cache-size", serve.DefaultMeasureCacheSize, "measurement-cache capacity in fingerprints (0 = unbounded); over capacity, entries are shed and re-simulated on next use")
 		bcacheFile = flag.String("block-cache", "", "block-schedule-cache JSON file: loaded on start (a warm restart skips whole block DP searches with bit-identical results) and saved on clean shutdown; a corrupt or missing file starts cold")
 		bcacheSize = flag.Int("block-cache-size", serve.DefaultBlockCacheSize, "block-schedule-cache capacity in fingerprints (0 = unbounded); over capacity, entries are shed and re-searched on next use")
+		autoBatch  = flag.Bool("auto-batch", false, "enable the traffic-adaptive auto-batching front end: POST /infer coalesces single-image requests into batches chosen from each plan's measured performance model under -slo (requires a registered plan: -plan-batches or -plan-dir)")
+		sloFlag    = flag.Duration("slo", 20*time.Millisecond, "per-request latency SLO for -auto-batch dispatch decisions; violations are counted in GET /stats, not masked")
+		maxBatch   = flag.Int("max-batch", 0, "cap on -auto-batch dispatch sizes (0 = each plan's largest planned batch)")
+		planDir    = flag.String("plan-dir", "", "directory of batch-specialization plan JSON files: every *.json in it is registered on start, and plans built this session (-plan-batches) are saved there on shutdown — a restart then serves planned batches without re-running any searches")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Usage = func() {
@@ -112,14 +125,24 @@ func main() {
 		BlockCache:   bcache,
 		Deadline:     *deadline,
 	}
+	if *autoBatch {
+		cfg.Batching = &serve.BatchingConfig{SLO: *sloFlag, MaxBatch: *maxBatch}
+	}
 	if !*quietFlag {
 		cfg.Logf = log.New(os.Stderr, "iosserve: ", log.LstdFlags).Printf
 	}
 	srv := serve.NewServer(cfg)
-	// Saved on every exit path — including an interrupted or failed
-	// warm-up and a listener that never came up: whatever simulations
-	// completed are exactly what a warm restart wants.
-	saveMeasureCache := func() {
+	// Persisted plans register before warm-up, so -plan-batches only
+	// spends searches on models that are not already covered... and a
+	// plain restart with -plan-dir serves planned batches immediately.
+	if *planDir != "" {
+		loadPlans(srv, *planDir)
+	}
+	// saveState runs on every exit path — including an interrupted or
+	// failed warm-up and a listener that never came up: whatever
+	// simulations and plan sweeps completed are exactly what a warm
+	// restart wants.
+	saveState := func() {
 		if *mcacheFile != "" {
 			if err := mcache.SaveFile(*mcacheFile); err != nil {
 				log.Printf("iosserve: save measure cache: %v", err)
@@ -138,10 +161,13 @@ func main() {
 					st.Size, *bcacheFile, st.Saved())
 			}
 		}
+		if *planDir != "" {
+			savePlans(srv, *planDir)
+		}
 	}
 	// fail is fatal() for errors past cache creation: save first.
 	fail := func(err error) {
-		saveMeasureCache()
+		saveState()
 		fatal(err)
 	}
 
@@ -171,7 +197,7 @@ func main() {
 		if err := srv.WarmPlans(ctx, names, batches); err != nil {
 			if errors.Is(err, context.Canceled) {
 				log.Printf("iosserve: plan warm-up interrupted, exiting")
-				saveMeasureCache()
+				saveState()
 				return
 			}
 			fail(err)
@@ -193,7 +219,7 @@ func main() {
 		if err := srv.Warm(ctx, names, batches); err != nil {
 			if errors.Is(err, context.Canceled) {
 				log.Printf("iosserve: warming interrupted, exiting")
-				saveMeasureCache()
+				saveState()
 				return
 			}
 			fail(err)
@@ -218,6 +244,12 @@ func main() {
 		log.Printf("iosserve: signal received, draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Flush the auto-batchers FIRST: queued /infer requests dispatch
+		// immediately instead of waiting out their SLO headroom, so the
+		// HTTP drain below sees only briefly-running handlers.
+		if err := srv.DrainBatchers(shutdownCtx); err != nil {
+			log.Printf("iosserve: drain batchers: %v", err)
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("iosserve: shutdown: %v", err)
 		}
@@ -228,8 +260,77 @@ func main() {
 	}
 	stop() // unblock the drain goroutine if the listener failed on its own
 	<-drained
-	saveMeasureCache()
+	saveState()
 	log.Printf("iosserve: shut down cleanly")
+}
+
+// loadPlans registers every *.json plan file in dir. Unreadable or
+// invalid files are logged and skipped — a bad plan file must not keep
+// the daemon from starting.
+func loadPlans(srv *serve.Server, dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Printf("iosserve: -plan-dir %s: %v (starting without persisted plans)", dir, err)
+		return
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		p, err := plan.LoadFile(path)
+		if err != nil {
+			log.Printf("iosserve: plan %s: %v (skipped)", path, err)
+			continue
+		}
+		if err := srv.RegisterPlan(p); err != nil {
+			log.Printf("iosserve: plan %s: %v (skipped)", path, err)
+			continue
+		}
+		log.Printf("iosserve: registered plan %s/%s/%s batches=%v from %s", p.Model, p.Device, p.Opts, p.Batches(), e.Name())
+		loaded++
+	}
+	if loaded == 0 {
+		log.Printf("iosserve: -plan-dir %s: no plans loaded", dir)
+	}
+}
+
+// savePlans writes every registered plan to dir (created if missing) as
+// <model>_<device>_<opts>.json, with non-filename characters mapped to
+// '-'. Plans loaded from the same directory simply overwrite their own
+// files with identical content.
+func savePlans(srv *serve.Server, dir string) {
+	plans := srv.Plans()
+	if len(plans) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("iosserve: save plans: %v", err)
+		return
+	}
+	for _, p := range plans {
+		name := sanitizeFile(p.Model+"_"+p.Device+"_"+p.Opts) + ".json"
+		path := filepath.Join(dir, name)
+		if err := p.SaveFile(path); err != nil {
+			log.Printf("iosserve: save plan %s: %v", path, err)
+			continue
+		}
+		log.Printf("iosserve: saved plan %s/%s/%s to %s", p.Model, p.Device, p.Opts, path)
+	}
+}
+
+// sanitizeFile maps a plan identity to a safe filename component.
+func sanitizeFile(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '=':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
 }
 
 // warmList expands the -warm value ("paper" = the benchmark set).

@@ -1,0 +1,234 @@
+package batching
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ios/internal/plan"
+)
+
+// syntheticBatchingPlan builds a schedule-free *plan.Plan with an
+// analytic measured matrix (diagonal grows sub-linearly, penalty grows
+// with batch distance) — enough for the model-query methods the
+// batching tier consumes.
+func syntheticBatchingPlan() *plan.Plan {
+	batches := []int{1, 8, 16}
+	p := &plan.Plan{Model: "synthetic", Device: "dev"}
+	diag := func(b int) float64 { return 1e-3 + 1e-4*float64(b) }
+	p.Points = make([]plan.Point, len(batches))
+	p.Latency = make([][]float64, len(batches))
+	for i, bi := range batches {
+		p.Points[i] = plan.Point{Batch: bi, Latency: diag(bi)}
+		p.Latency[i] = make([]float64, len(batches))
+		for j, bj := range batches {
+			d := float64(bi - bj)
+			if d < 0 {
+				d = -d
+			}
+			p.Latency[i][j] = diag(bj) * (1 + 0.004*d)
+		}
+	}
+	return p
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(500, 1000, 42)
+	b := PoissonArrivals(500, 1000, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different Poisson traces")
+	}
+	if c := PoissonArrivals(500, 1000, 43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical Poisson traces")
+	}
+	if len(a) != 500 {
+		t.Fatalf("trace length = %d, want 500", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not ascending at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	// 500 arrivals at 1000/s should span roughly 0.5s.
+	span := a[len(a)-1].Seconds()
+	if span < 0.3 || span > 0.8 {
+		t.Errorf("500 arrivals at 1000/s span %.3fs, want ~0.5s", span)
+	}
+	if PoissonArrivals(0, 1000, 1) != nil || PoissonArrivals(5, 0, 1) != nil {
+		t.Error("degenerate Poisson inputs should return nil")
+	}
+}
+
+func TestOnOffArrivalsDeterministic(t *testing.T) {
+	on, off := 50*time.Millisecond, 150*time.Millisecond
+	a := OnOffArrivals(500, 4000, on, off, 7)
+	b := OnOffArrivals(500, 4000, on, off, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different ON-OFF traces")
+	}
+	if len(a) != 500 {
+		t.Fatalf("trace length = %d, want 500", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not ascending at %d", i)
+		}
+	}
+	// Long-run rate ≈ 4000·50/(50+150) = 1000/s, so 500 arrivals span
+	// roughly 0.5s — allow wide slack, burst structure is noisy.
+	span := a[len(a)-1].Seconds()
+	if span < 0.15 || span > 2 {
+		t.Errorf("ON-OFF span %.3fs implausible for mean rate 1000/s", span)
+	}
+	if OnOffArrivals(5, 4000, 0, off, 7) != nil {
+		t.Error("degenerate ON-OFF inputs should return nil")
+	}
+}
+
+func TestSimulateFixedBatches(t *testing.T) {
+	m := testModel()
+	arrivals := make([]time.Duration, 10)
+	for i := range arrivals {
+		arrivals[i] = time.Duration(i) * time.Millisecond
+	}
+	res, err := SimulateFixed(m, 4, 20*time.Millisecond, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatches != 3 {
+		t.Errorf("dispatches = %d, want 3 (4+4+2)", res.Dispatches)
+	}
+	if res.DispatchHist[4] != 2 || res.DispatchHist[2] != 1 {
+		t.Errorf("histogram = %v, want map[2:1 4:2]", res.DispatchHist)
+	}
+	if res.Requests != 10 || res.Images != 10 {
+		t.Errorf("requests/images = %d/%d, want 10/10", res.Requests, res.Images)
+	}
+	if _, err := SimulateFixed(m, 0, time.Second, arrivals); err == nil {
+		t.Error("SimulateFixed accepted batch 0")
+	}
+}
+
+func TestSimulateImmediate(t *testing.T) {
+	m := testModel()
+	arrivals := PoissonArrivals(200, 500, 1) // well under batch-1 capacity
+	res, err := SimulateImmediate(m, 20*time.Millisecond, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "batch1" || res.Dispatches != 200 || res.MeanBatch != 1 {
+		t.Errorf("result = %+v, want 200 singleton dispatches", res)
+	}
+	// Under light load every request's latency is at least the batch-1
+	// service time and usually not much more.
+	if res.P50 < durationOf(m.EstimateLatency(1)) {
+		t.Errorf("p50 %v below the batch-1 service time", res.P50)
+	}
+}
+
+// TestSimulateAdaptiveDeterministic: the virtual-time simulation is a
+// pure function of (config, trace).
+func TestSimulateAdaptiveDeterministic(t *testing.T) {
+	cfg := Config{Model: testModel(), SLO: 20 * time.Millisecond}
+	arrivals := PoissonArrivals(1000, 2000, 11)
+	a, err := SimulateAdaptive(cfg, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAdaptive(cfg, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same trace produced different results:\n%+v\n%+v", a, b)
+	}
+	if a.Requests != 1000 || a.Images != 1000 {
+		t.Errorf("requests/images = %d/%d, want 1000/1000", a.Requests, a.Images)
+	}
+}
+
+// TestSimulateAdaptiveBeatsBatch1 is the package-level version of the
+// benchmark's built-in assertion: under Poisson traffic offered above
+// the batch-1 capacity of the model, the adaptive policy both sustains
+// higher throughput than dispatch-immediately AND keeps p99 within the
+// SLO, because it rides the model's batching amortization.
+func TestSimulateAdaptiveBeatsBatch1(t *testing.T) {
+	m := testModel() // batch-1 capacity = 1/L(1) ≈ 909 img/s
+	slo := 20 * time.Millisecond
+	arrivals := PoissonArrivals(2000, 2000, 3) // offered 2000 img/s
+
+	adaptive, err := SimulateAdaptive(Config{Model: m, SLO: slo}, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1, err := SimulateImmediate(m, slo, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if adaptive.ImagesPerSec <= batch1.ImagesPerSec {
+		t.Errorf("adaptive %.0f img/s did not beat batch1 %.0f img/s",
+			adaptive.ImagesPerSec, batch1.ImagesPerSec)
+	}
+	if adaptive.P99 > slo {
+		t.Errorf("adaptive p99 %v exceeds SLO %v", adaptive.P99, slo)
+	}
+	if adaptive.MeanBatch <= 1.5 {
+		t.Errorf("adaptive mean batch %.2f — the policy never coalesced", adaptive.MeanBatch)
+	}
+	// The saturated batch-1 device has unbounded queueing delay.
+	if batch1.P99 <= adaptive.P99 {
+		t.Errorf("batch1 p99 %v unexpectedly at or below adaptive p99 %v", batch1.P99, adaptive.P99)
+	}
+}
+
+// TestSimulateAdaptiveLightLoad: far below capacity there is nothing to
+// gain from batching the SLO would allow to be missed — every request
+// still completes within the SLO.
+func TestSimulateAdaptiveLightLoad(t *testing.T) {
+	cfg := Config{Model: testModel(), SLO: 20 * time.Millisecond}
+	arrivals := PoissonArrivals(300, 100, 5) // 100 img/s, capacity ~909
+	res, err := SimulateAdaptive(cfg, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOViolations != 0 {
+		t.Errorf("light load produced %d SLO violations, want 0", res.SLOViolations)
+	}
+	if res.Images != 300 {
+		t.Errorf("images = %d, want all 300 served", res.Images)
+	}
+}
+
+// TestSimulateHistogramFeedsSuggestBatches closes the loop the front
+// end exists for: the adaptive run's dispatch histogram is a valid
+// SuggestBatches input and yields sweep points inside the observed
+// dispatch range.
+func TestSimulateHistogramFeedsSuggestBatches(t *testing.T) {
+	cfg := Config{Model: testModel(), SLO: 20 * time.Millisecond}
+	res, err := SimulateAdaptive(cfg, PoissonArrivals(2000, 2000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(map[int]float64, len(res.DispatchHist))
+	lo, hi := 1<<30, 0
+	for b, c := range res.DispatchHist {
+		weights[b] = float64(c)
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	p := syntheticBatchingPlan()
+	got := p.SuggestBatches(weights, 3)
+	if len(got) == 0 {
+		t.Fatal("SuggestBatches returned nothing from a live histogram")
+	}
+	for _, b := range got {
+		if b < lo || b > hi {
+			t.Errorf("suggested batch %d outside observed dispatch range [%d, %d]", b, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package plan
+
+import "sort"
+
+// This file is the plan's measured performance model as a queryable
+// surface: latency and penalty estimates at arbitrary batch sizes
+// (interpolated from the measured cross-batch matrix, never simulated)
+// plus SuggestBatches, which inverts the model — given an observed
+// traffic histogram, it selects the sweep batch points a rebuilt plan
+// should specialize, replacing a hardcoded 1/32/128 with points chosen
+// for the traffic actually arriving. The auto-batching front end
+// (internal/batching) drives both: dispatch decisions compare
+// EstimateLatency across candidate batch sizes, and the observed
+// dispatch histogram feeds SuggestBatches to close the loop.
+
+// MaxBatch returns the largest planned batch size — the biggest batch
+// the plan has measured data for. Callers sizing dispatches (e.g. the
+// auto-batching front end) should not exceed it: beyond this point every
+// estimate is constant extrapolation.
+func (p *Plan) MaxBatch() int { return p.Points[len(p.Points)-1].Batch }
+
+// MinBatch returns the smallest planned batch size.
+func (p *Plan) MinBatch() int { return p.Points[0].Batch }
+
+// EstimateLatency estimates the latency in seconds of serving batch the
+// way the serving tier would: nearest-point routing (Route) with the
+// routed point's measured latency row linearly interpolated over the
+// execution batch. At a planned batch it equals the measured diagonal
+// exactly; below MinBatch and above MaxBatch the nearest measured value
+// is used (constant extrapolation), so estimates above MaxBatch
+// understate real latency — cap dispatch sizes at MaxBatch. The estimate
+// derives entirely from the plan's measured matrix; no simulation
+// happens.
+func (p *Plan) EstimateLatency(batch int) float64 {
+	i := p.Nearest(batch)
+	return p.interp(func(j int) float64 { return p.Latency[i][j] }, batch)
+}
+
+// EstimateThroughput estimates the throughput in images per second of
+// serving batch via the plan: batch / EstimateLatency(batch). It is the
+// quantity a dispatcher maximizes when deciding whether waiting for a
+// bigger batch beats dispatching now.
+func (p *Plan) EstimateThroughput(batch int) float64 {
+	lat := p.EstimateLatency(batch)
+	if lat <= 0 {
+		return 0
+	}
+	return float64(batch) / lat
+}
+
+// CrossLatency estimates Latency[specBatch][execBatch] for arbitrary
+// batch values: the latency in seconds of a schedule specialized at
+// specBatch executed at execBatch, bilinearly interpolated over both
+// axes of the measured matrix (rows over the specialization batch,
+// columns over the execution batch), clamped outside the planned range
+// on either axis.
+func (p *Plan) CrossLatency(specBatch, execBatch int) float64 {
+	return p.interp(func(i int) float64 {
+		return p.interp(func(j int) float64 { return p.Latency[i][j] }, execBatch)
+	}, specBatch)
+}
+
+// EstimatePenaltyAt estimates the reuse penalty of serving execBatch
+// with a schedule specialized at specBatch, for arbitrary batch values:
+// CrossLatency(specBatch, execBatch) over the interpolated specialized
+// latency at execBatch. Like EstimatePenalty it clamps outside the
+// planned range, so both estimates degrade to 1.0 far from the sweep —
+// use it to compare candidate specialization points, not as an absolute
+// cost beyond the measured range.
+func (p *Plan) EstimatePenaltyAt(specBatch, execBatch int) float64 {
+	spec := p.CrossLatency(execBatch, execBatch)
+	if spec == 0 {
+		return 1
+	}
+	return p.CrossLatency(specBatch, execBatch) / spec
+}
+
+// SuggestBatches selects up to k sweep batch points for a plan rebuild
+// from an observed traffic histogram: weights maps a batch size (e.g.
+// the auto-batcher's dispatch sizes, or raw request batches) to any
+// non-negative frequency weight. It minimizes the expected reuse
+// penalty of serving that traffic with k specialized schedules under
+// the plan's interpolated cross-batch model: serving batch b with a
+// schedule specialized at s costs weights[b] × EstimatePenaltyAt(s, b),
+// and each selected point serves a contiguous range of the sorted
+// observed batches (which nearest-batch routing realizes whenever the
+// penalty model grows with batch distance, as measured matrices do).
+// The selection is an exact interval dynamic program over the
+// candidates — the observed batch values themselves — so the result is
+// deterministic: ties prefer smaller batches. Entries with
+// non-positive batch or weight are ignored; the result is ascending,
+// non-empty whenever any valid entry exists, and has min(k, distinct
+// candidates) points.
+func (p *Plan) SuggestBatches(weights map[int]float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	cand := make([]int, 0, len(weights))
+	for b, w := range weights {
+		if b >= 1 && w > 0 {
+			cand = append(cand, b)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Ints(cand)
+	n := len(cand)
+	if k >= n {
+		return cand
+	}
+
+	// pen[s][b]: weighted penalty of serving candidate b with a schedule
+	// specialized at candidate s; prefix[s][b+1] accumulates over b so an
+	// interval's cost under one specialization point is O(1).
+	prefix := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		prefix[s] = make([]float64, n+1)
+		for b := 0; b < n; b++ {
+			prefix[s][b+1] = prefix[s][b] + weights[cand[b]]*p.EstimatePenaltyAt(cand[s], cand[b])
+		}
+	}
+	// cost[l][r]: best cost of serving candidates l..r (inclusive) with
+	// one specialization point chosen among them; point[l][r] records the
+	// winner (smallest on ties).
+	cost := make([][]float64, n)
+	point := make([][]int, n)
+	for l := 0; l < n; l++ {
+		cost[l] = make([]float64, n)
+		point[l] = make([]int, n)
+		for r := l; r < n; r++ {
+			best, bestAt := 0.0, -1
+			for s := l; s <= r; s++ {
+				c := prefix[s][r+1] - prefix[s][l]
+				if bestAt < 0 || c < best {
+					best, bestAt = c, s
+				}
+			}
+			cost[l][r], point[l][r] = best, bestAt
+		}
+	}
+	// dp[j][i]: best cost of covering the first i candidates with j
+	// points; cut[j][i] records where the last interval starts.
+	const inf = 1e300
+	dp := make([][]float64, k+1)
+	cut := make([][]int, k+1)
+	for j := 0; j <= k; j++ {
+		dp[j] = make([]float64, n+1)
+		cut[j] = make([]int, n+1)
+		for i := 0; i <= n; i++ {
+			dp[j][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for i := 1; i <= n; i++ {
+			for l := j - 1; l < i; l++ {
+				if dp[j-1][l] >= inf {
+					continue
+				}
+				c := dp[j-1][l] + cost[l][i-1]
+				if c < dp[j][i] {
+					dp[j][i], cut[j][i] = c, l
+				}
+			}
+		}
+	}
+	out := make([]int, 0, k)
+	for j, i := k, n; j > 0; j-- {
+		l := cut[j][i]
+		out = append(out, cand[point[l][i-1]])
+		i = l
+	}
+	sort.Ints(out)
+	return out
+}

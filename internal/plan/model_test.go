@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestRouteBoundaryBelowSmallest pins the documented clamping behavior
+// for batches below the smallest planned point: a batch-1 request
+// against a plan starting at 8 routes to the batch-8 point and reports
+// penalty exactly 1.0 (the matrix has no measurements below 8, so the
+// estimate clamps to the smallest point's diagonal).
+func TestRouteBoundaryBelowSmallest(t *testing.T) {
+	p := buildTestPlan(t, []int{8, 16})
+
+	pt, pen, exact := p.Route(1)
+	if exact {
+		t.Error("Route(1) reported exact against a plan starting at 8")
+	}
+	if pt.Batch != 8 {
+		t.Errorf("Route(1) = batch %d, want the smallest planned batch 8", pt.Batch)
+	}
+	if pen != 1 {
+		t.Errorf("Route(1) penalty = %v, want the documented clamped 1.0", pen)
+	}
+	// Every batch below the smallest planned point behaves identically.
+	for b := 1; b < 8; b++ {
+		if pt, pen, _ := p.Route(b); pt.Batch != 8 || pen != 1 {
+			t.Errorf("Route(%d) = batch %d penalty %v, want batch 8 penalty 1", b, pt.Batch, pen)
+		}
+		if got := p.EstimatePenalty(0, b); got != p.Penalty(0, 0) {
+			t.Errorf("EstimatePenalty(0, %d) = %v, want clamped Penalty(0,0) = %v", b, got, p.Penalty(0, 0))
+		}
+	}
+}
+
+// TestRouteBoundaryAboveLargest pins the symmetric clamp above the
+// largest planned batch: routing goes to the largest point and the
+// penalty estimate clamps to its diagonal (1.0 for the point's own
+// row).
+func TestRouteBoundaryAboveLargest(t *testing.T) {
+	p := buildTestPlan(t, []int{8, 16})
+	for _, b := range []int{17, 64, 4096} {
+		pt, pen, exact := p.Route(b)
+		if exact || pt.Batch != 16 {
+			t.Errorf("Route(%d) = batch %d exact %v, want routed to 16", b, pt.Batch, exact)
+		}
+		if pen != 1 {
+			t.Errorf("Route(%d) penalty = %v, want clamped 1.0", b, pen)
+		}
+		// The cross-point estimate clamps to the last measured column.
+		if got, want := p.EstimatePenalty(0, b), p.Penalty(0, 1); got != want {
+			t.Errorf("EstimatePenalty(0, %d) = %v, want clamped %v", b, got, want)
+		}
+	}
+}
+
+func TestMinMaxBatch(t *testing.T) {
+	p := buildTestPlan(t, []int{8, 16, 32})
+	if p.MinBatch() != 8 || p.MaxBatch() != 32 {
+		t.Errorf("MinBatch/MaxBatch = %d/%d, want 8/32", p.MinBatch(), p.MaxBatch())
+	}
+}
+
+func TestEstimateLatency(t *testing.T) {
+	p := buildTestPlan(t, []int{1, 4, 16})
+	// At planned batches the estimate is the measured diagonal exactly.
+	for i, pt := range p.Points {
+		if got := p.EstimateLatency(pt.Batch); got != p.Latency[i][i] {
+			t.Errorf("EstimateLatency(%d) = %v, want diagonal %v", pt.Batch, got, p.Latency[i][i])
+		}
+	}
+	// Between planned batches it lies within the bracketing row values.
+	got := p.EstimateLatency(8) // nearest point is 4 (distance 4 vs 8)
+	lo, hi := p.Latency[1][1], p.Latency[1][2]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if got < lo || got > hi {
+		t.Errorf("EstimateLatency(8) = %v outside its bracketing row values [%v, %v]", got, lo, hi)
+	}
+	// Outside the planned range it clamps to the nearest measured value.
+	if got := p.EstimateLatency(1000); got != p.Latency[2][2] {
+		t.Errorf("EstimateLatency(1000) = %v, want clamped %v", got, p.Latency[2][2])
+	}
+	if got := p.EstimateThroughput(16); math.Abs(got-16/p.Latency[2][2]) > 1e-12 {
+		t.Errorf("EstimateThroughput(16) = %v, want %v", got, 16/p.Latency[2][2])
+	}
+}
+
+// syntheticPlan builds a schedule-free plan whose matrix follows a
+// controlled analytic shape: diagonal latency grows sub-linearly with
+// batch (batching pays) and reuse penalty grows with batch distance.
+// Only the model-query methods are exercised on it — they read nothing
+// but Points[].Batch and Latency.
+func syntheticPlan(batches ...int) *Plan {
+	p := &Plan{Model: "synthetic", Device: "dev"}
+	diag := func(b int) float64 { return 1e-3 + 1e-4*float64(b) }
+	p.Points = make([]Point, len(batches))
+	p.Latency = make([][]float64, len(batches))
+	for i, bi := range batches {
+		p.Points[i] = Point{Batch: bi, Latency: diag(bi)}
+		p.Latency[i] = make([]float64, len(batches))
+		for j, bj := range batches {
+			d := float64(bi - bj)
+			if d < 0 {
+				d = -d
+			}
+			p.Latency[i][j] = diag(bj) * (1 + 0.004*d)
+		}
+	}
+	return p
+}
+
+func TestCrossLatencyMatchesMatrixAtPlannedPairs(t *testing.T) {
+	p := syntheticPlan(1, 32, 128)
+	for i, pi := range p.Points {
+		for j, pj := range p.Points {
+			if got := p.CrossLatency(pi.Batch, pj.Batch); math.Abs(got-p.Latency[i][j]) > 1e-15 {
+				t.Errorf("CrossLatency(%d, %d) = %v, want matrix %v", pi.Batch, pj.Batch, got, p.Latency[i][j])
+			}
+			if got := p.EstimatePenaltyAt(pi.Batch, pj.Batch); math.Abs(got-p.Penalty(i, j)) > 1e-12 {
+				t.Errorf("EstimatePenaltyAt(%d, %d) = %v, want %v", pi.Batch, pj.Batch, got, p.Penalty(i, j))
+			}
+		}
+	}
+	// Between points the cross estimate is finite, positive, and the
+	// penalty of a distant specialization exceeds a near one.
+	if near, far := p.EstimatePenaltyAt(32, 48), p.EstimatePenaltyAt(1, 48); near >= far {
+		t.Errorf("penalty(spec 32 at 48) = %v should beat penalty(spec 1 at 48) = %v", near, far)
+	}
+}
+
+func TestSuggestBatchesBasics(t *testing.T) {
+	p := syntheticPlan(1, 32, 128)
+
+	if got := p.SuggestBatches(nil, 3); got != nil {
+		t.Errorf("SuggestBatches(nil) = %v, want nil", got)
+	}
+	if got := p.SuggestBatches(map[int]float64{4: 1}, 0); got != nil {
+		t.Errorf("SuggestBatches(k=0) = %v, want nil", got)
+	}
+	// Invalid entries are ignored.
+	if got := p.SuggestBatches(map[int]float64{0: 5, -3: 2, 7: 0, 9: -1}, 2); got != nil {
+		t.Errorf("SuggestBatches(all-invalid) = %v, want nil", got)
+	}
+	// k >= candidates: every observed batch is selected, ascending.
+	got := p.SuggestBatches(map[int]float64{64: 1, 2: 3, 17: 2}, 5)
+	if want := []int{2, 17, 64}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestBatches(k=5) = %v, want %v", got, want)
+	}
+	// Single heavy batch: that batch is the point.
+	if got := p.SuggestBatches(map[int]float64{24: 10}, 3); !reflect.DeepEqual(got, []int{24}) {
+		t.Errorf("SuggestBatches(single) = %v, want [24]", got)
+	}
+}
+
+// TestSuggestBatchesClusters checks the selection tracks the traffic:
+// two well-separated clusters with k=2 pick one point inside each.
+func TestSuggestBatchesClusters(t *testing.T) {
+	p := syntheticPlan(1, 32, 128)
+	weights := map[int]float64{2: 100, 3: 80, 4: 20, 90: 50, 96: 70}
+	got := p.SuggestBatches(weights, 2)
+	if len(got) != 2 {
+		t.Fatalf("SuggestBatches = %v, want 2 points", got)
+	}
+	if got[0] > 4 || got[1] < 90 {
+		t.Errorf("SuggestBatches = %v, want one point in {2,3,4} and one in {90,96}", got)
+	}
+	// Deterministic: identical inputs, identical output.
+	if again := p.SuggestBatches(weights, 2); !reflect.DeepEqual(got, again) {
+		t.Errorf("SuggestBatches not deterministic: %v vs %v", got, again)
+	}
+}
+
+// TestSuggestBatchesOptimal verifies the interval DP against brute
+// force: the returned subset's expected penalty (each observed batch
+// served by its cheapest selected point) must match the best over every
+// subset of the same size.
+func TestSuggestBatchesOptimal(t *testing.T) {
+	p := syntheticPlan(1, 32, 128)
+	weights := map[int]float64{1: 9, 6: 4, 20: 7, 55: 2, 110: 6}
+	cands := []int{1, 6, 20, 55, 110}
+	costOf := func(sel []int) float64 {
+		total := 0.0
+		for _, b := range cands {
+			best := math.Inf(1)
+			for _, s := range sel {
+				if c := weights[b] * p.EstimatePenaltyAt(s, b); c < best {
+					best = c
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	for k := 1; k <= 3; k++ {
+		got := p.SuggestBatches(weights, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: SuggestBatches = %v, want %d points", k, got, k)
+		}
+		gotCost := costOf(got)
+		// Brute force over every k-subset of the candidates.
+		best := math.Inf(1)
+		var rec func(start int, sel []int)
+		rec = func(start int, sel []int) {
+			if len(sel) == k {
+				if c := costOf(sel); c < best {
+					best = c
+				}
+				return
+			}
+			for i := start; i < len(cands); i++ {
+				rec(i+1, append(sel, cands[i]))
+			}
+		}
+		rec(0, nil)
+		if gotCost > best*(1+1e-12) {
+			t.Errorf("k=%d: SuggestBatches %v costs %v, brute-force best %v", k, got, gotCost, best)
+		}
+	}
+}

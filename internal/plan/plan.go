@@ -115,8 +115,13 @@ func (p *Plan) Penalty(i, j int) float64 {
 // planned batches both the point's latency row and the specialized
 // diagonal are linearly interpolated over batch size and the estimate is
 // their ratio; outside the planned range the nearest measured value is
-// used (constant extrapolation). The estimate derives entirely from the
-// plan's measured matrix — no simulation happens.
+// used (constant extrapolation). In particular, a batch below the
+// smallest planned point clamps to that point's column — so against a
+// plan whose sweep starts at 8, EstimatePenalty(0, 1) is exactly
+// Penalty(0, 0) = 1: the matrix has no measurements below batch 8 and
+// the model cannot see whatever penalty really accrues there. The same
+// holds above the largest planned batch. The estimate derives entirely
+// from the plan's measured matrix — no simulation happens.
 func (p *Plan) EstimatePenalty(i int, batch int) float64 {
 	row := func(j int) float64 { return p.Latency[i][j] }
 	diag := func(j int) float64 { return p.Latency[j][j] }
@@ -148,7 +153,14 @@ func (p *Plan) interp(val func(int) float64, batch int) float64 {
 // Route resolves a requested batch size against the plan: the point to
 // serve it with, the recorded reuse penalty (1 for an exactly planned
 // batch; otherwise the matrix-derived EstimatePenalty of the nearest
-// point), and whether the batch was planned exactly.
+// point), and whether the batch was planned exactly. Requests outside
+// the planned range clamp to the end points: a batch below the smallest
+// planned batch routes to that smallest point and — because the penalty
+// estimate clamps with it (see EstimatePenalty) — reports penalty 1.0
+// even though the serving tier still rebinds and measures the schedule
+// at the requested batch. Callers wanting honest penalties at the
+// extremes should plan sweep points covering their traffic range (see
+// SuggestBatches).
 func (p *Plan) Route(batch int) (pt *Point, penalty float64, exact bool) {
 	if i := p.Index(batch); i >= 0 {
 		return &p.Points[i], 1, true

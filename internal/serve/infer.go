@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ios/internal/batching"
+	"ios/internal/gpusim"
+	"ios/internal/plan"
+)
+
+// This file is the serving tier's traffic-adaptive auto-batching front
+// end: POST /infer accepts single-image (or small-batch) inference
+// requests and coalesces them into batches before answering from the
+// matching registered batch-specialization plan. Dispatch sizes are
+// chosen by internal/batching from the plan's measured performance
+// model under the configured SLO — the server holds a request only when
+// the plan's own matrix says a bigger batch amortizes better AND the
+// observed arrival rate says the wait still meets the oldest request's
+// deadline. One Batcher exists per registered plan, created lazily on
+// the plan's first /infer request.
+
+// BatchingConfig enables and tunes the auto-batching front end.
+type BatchingConfig struct {
+	// SLO is the per-request latency target the dispatch decisions
+	// respect (required, > 0). Violations are counted in /stats, not
+	// masked.
+	SLO time.Duration
+	// MaxBatch caps dispatch sizes; 0 means each plan's largest planned
+	// batch (beyond it the measured model extrapolates).
+	MaxBatch int
+	// RateAlpha is the arrival-rate EWMA weight (0 = the batching
+	// package default).
+	RateAlpha float64
+}
+
+// InferRequest is the body of POST /infer. Model names a zoo network
+// with a registered batch-specialization plan; Images is the request's
+// own batch contribution (default 1 — a plain single-image request).
+// Device, Strategy, R and S select the plan the same way /optimize
+// resolves its key.
+type InferRequest struct {
+	Model    string `json:"model"`
+	Images   int    `json:"images,omitempty"`
+	Device   string `json:"device,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	R        int    `json:"r,omitempty"`
+	S        int    `json:"s,omitempty"`
+}
+
+// InferResponse is the body of a successful POST /infer: how the
+// request's dispatch was routed and timed. Latency figures are the
+// plan's measured values for the dispatched batch — the same numbers
+// the dispatch decision compared.
+type InferResponse struct {
+	Model   string `json:"model"`
+	Device  string `json:"device"`
+	Options string `json:"options"`
+	// Images is the request's own contribution; DispatchImages and
+	// DispatchRequests describe the coalesced batch it rode in.
+	Images           int `json:"images"`
+	DispatchImages   int `json:"dispatch_images"`
+	DispatchRequests int `json:"dispatch_requests"`
+	// Plan reports the routing of the dispatched batch (its planned
+	// batch, exactness, and reuse penalty).
+	Plan PlanRoute `json:"plan"`
+	// LatencyMS is the dispatched batch's measured service latency;
+	// QueueWaitMS is time spent queued before dispatch; TotalMS adds any
+	// device backlog and is the figure compared against SLOMS.
+	LatencyMS   float64 `json:"latency_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	SLOMS       float64 `json:"slo_ms"`
+	Violated    bool    `json:"violated"`
+}
+
+// BatcherStats is one plan's auto-batcher in GET /stats.
+type BatcherStats struct {
+	Model   string `json:"model"`
+	Device  string `json:"device"`
+	Options string `json:"options"`
+	// QueueDepth and InFlight describe the instantaneous state;
+	// ArrivalRate is the observed arrival-rate estimate in images/sec.
+	QueueDepth  int     `json:"queue_depth"`
+	InFlight    int     `json:"in_flight"`
+	ArrivalRate float64 `json:"arrival_rate"`
+	// Dispatches/Images/Violations are lifetime counters; DispatchHist
+	// maps dispatch size to count.
+	Dispatches   int64         `json:"dispatches"`
+	Images       int64         `json:"images"`
+	Violations   int64         `json:"violations"`
+	DispatchHist map[int]int64 `json:"dispatch_hist"`
+	// SuggestedBatches are the sweep points plan.SuggestBatches picks
+	// from the observed dispatch histogram — the batches a plan rebuild
+	// should specialize for this traffic (empty until traffic arrives).
+	SuggestedBatches []int `json:"suggested_batches,omitempty"`
+}
+
+// BatchStats reports the auto-batching front end in GET /stats.
+type BatchStats struct {
+	// Enabled reports whether the server was configured with a
+	// BatchingConfig (POST /infer answers 404 otherwise).
+	Enabled bool    `json:"enabled"`
+	SLOMS   float64 `json:"slo_ms,omitempty"`
+	// Batchers lists the per-plan batchers created so far, sorted by
+	// (model, device, options).
+	Batchers []BatcherStats `json:"batchers,omitempty"`
+}
+
+// inferServed is the Exec payload shared by every request of one
+// dispatch: the memoized plan answer plus its routing.
+type inferServed struct {
+	entry   *planServed
+	pt      *plan.Point
+	penalty float64
+	exact   bool
+}
+
+// batcherFor returns the plan's auto-batcher, creating it on first use.
+// The batcher's executor routes each dispatched batch through the plan
+// exactly like /optimize would (memoized via plannedEntry) and reports
+// the plan's measured latency for the batch as the service time, so the
+// virtual device timeline and the /stats plan counters see the same
+// numbers a sequence of individual requests would have produced.
+func (s *Server) batcherFor(p *plan.Plan, spec gpusim.Spec) (*batching.Batcher, error) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if b, ok := s.batchers[p]; ok {
+		return b, nil
+	}
+	bc := s.cfg.Batching
+	exec := func(d batching.Dispatch) (time.Duration, any, error) {
+		pt, penalty, exact := p.Route(d.Images)
+		e, err := s.plannedEntry(spec, p, pt, d.Images, exact)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.recordRoute(penalty, exact)
+		return time.Duration(e.lat * float64(time.Second)),
+			&inferServed{entry: e, pt: pt, penalty: penalty, exact: exact}, nil
+	}
+	b, err := batching.NewBatcher(batching.Config{
+		Model:     p,
+		SLO:       bc.SLO,
+		MaxBatch:  bc.MaxBatch,
+		RateAlpha: bc.RateAlpha,
+	}, exec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: batcher for plan %s/%s/%s: %w", p.Model, p.Device, p.Opts, err)
+	}
+	s.batchers[p] = b
+	return b, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.inferReqs, 1)
+	if s.cfg.Batching == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("auto-batching is disabled (start the server with a Batching config, e.g. iosserve -auto-batch)"))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var req InferRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("\"model\" is required (/infer serves zoo models with registered plans)"))
+		return
+	}
+	if req.Images == 0 {
+		req.Images = 1
+	}
+	res, err := s.resolve(req.Model, nil, req.Images, req.Device, req.Strategy, req.R, req.S)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	p := s.planFor(res.key)
+	if p == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no registered plan for %s/%s/%s (warm one with -warm + -plan-batches, or POST /optimize for unplanned serving)",
+			res.key.Model, res.key.Device, res.key.Opts))
+		return
+	}
+	b, err := s.batcherFor(p, res.spec)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	result, err := b.Submit(ctx, res.batch)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.failCompute(w, ctx, err)
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	served := result.Payload.(*inferServed)
+	resp := InferResponse{
+		Model:            res.key.Model,
+		Device:           res.spec.Name,
+		Options:          res.key.Opts,
+		Images:           res.batch,
+		DispatchImages:   result.Batch,
+		DispatchRequests: result.Requests,
+		Plan: PlanRoute{
+			PlannedBatch: served.pt.Batch,
+			Exact:        served.exact,
+			Penalty:      served.penalty,
+		},
+		LatencyMS:   float64(result.Service) / float64(time.Millisecond),
+		QueueWaitMS: float64(result.QueueWait) / float64(time.Millisecond),
+		TotalMS:     float64(result.Total) / float64(time.Millisecond),
+		SLOMS:       float64(s.cfg.Batching.SLO) / float64(time.Millisecond),
+		Violated:    result.Violated,
+	}
+	s.logf("infer %s images=%d dispatch=%d planned=%d exact=%v penalty=%.3f total=%.3fms",
+		res.key.Model, res.batch, result.Batch, served.pt.Batch, served.exact, served.penalty, resp.TotalMS)
+	s.writeJSON(w, resp)
+}
+
+// batchStats snapshots the auto-batching front end for GET /stats.
+func (s *Server) batchStats() BatchStats {
+	st := BatchStats{Enabled: s.cfg.Batching != nil}
+	if !st.Enabled {
+		return st
+	}
+	st.SLOMS = float64(s.cfg.Batching.SLO) / float64(time.Millisecond)
+	s.batchMu.Lock()
+	type pair struct {
+		p *plan.Plan
+		b *batching.Batcher
+	}
+	pairs := make([]pair, 0, len(s.batchers))
+	for p, b := range s.batchers {
+		pairs = append(pairs, pair{p, b})
+	}
+	s.batchMu.Unlock()
+	for _, pb := range pairs {
+		bs := pb.b.Stats()
+		row := BatcherStats{
+			Model:        pb.p.Model,
+			Device:       pb.p.Device,
+			Options:      pb.p.Opts,
+			QueueDepth:   bs.QueueDepth,
+			InFlight:     bs.InFlight,
+			ArrivalRate:  bs.ArrivalRate,
+			Dispatches:   bs.Dispatches,
+			Images:       bs.Images,
+			Violations:   bs.Violations,
+			DispatchHist: bs.DispatchHist,
+		}
+		if len(bs.DispatchHist) > 0 {
+			weights := make(map[int]float64, len(bs.DispatchHist))
+			for b, c := range bs.DispatchHist {
+				weights[b] = float64(c)
+			}
+			row.SuggestedBatches = pb.p.SuggestBatches(weights, len(pb.p.Points))
+		}
+		st.Batchers = append(st.Batchers, row)
+	}
+	sort.Slice(st.Batchers, func(i, j int) bool {
+		a, b := st.Batchers[i], st.Batchers[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Options < b.Options
+	})
+	return st
+}
+
+// DrainBatchers flushes every auto-batcher's queue into immediate
+// dispatches and waits for the in-flight work to execute (or ctx to
+// end). Call it on shutdown BEFORE stopping the HTTP server: queued
+// /infer requests complete immediately instead of waiting out their SLO
+// headroom inside the server's drain window.
+func (s *Server) DrainBatchers(ctx context.Context) error {
+	s.batchMu.Lock()
+	bs := make([]*batching.Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchMu.Unlock()
+	for _, b := range bs {
+		if err := b.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseBatchers drains and permanently stops every auto-batcher
+// (subsequent /infer submits to them fail). The server remains usable
+// for every other endpoint.
+func (s *Server) CloseBatchers() error {
+	s.batchMu.Lock()
+	bs := make([]*batching.Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchMu.Unlock()
+	var first error
+	for _, b := range bs {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -203,10 +203,43 @@ func TestPlanRoutingConcurrent(t *testing.T) {
 	if st.Plan.Exact != int64(3*perBatch) {
 		t.Errorf("exact = %d, want %d (batches 1, 4, 16)", st.Plan.Exact, 3*perBatch)
 	}
-	if math.IsNaN(st.Plan.PenaltySum) || st.Plan.PenaltySum < float64(total)-1e-9 {
-		t.Errorf("penalty sum = %v, want >= %d", st.Plan.PenaltySum, total)
+	// PenaltySum covers routed answers only (exact hits are excluded, see
+	// recordRoute): each routed penalty is >= 1, and the exact traffic
+	// must not inflate the sum.
+	if math.IsNaN(st.Plan.PenaltySum) || st.Plan.PenaltySum < float64(st.Plan.Routed)-1e-9 {
+		t.Errorf("penalty sum = %v, want >= routed count %d", st.Plan.PenaltySum, st.Plan.Routed)
+	}
+	if st.Plan.PenaltySum >= float64(total) {
+		t.Errorf("penalty sum = %v includes exact traffic (total served %d, routed %d)",
+			st.Plan.PenaltySum, total, st.Plan.Routed)
 	}
 	_ = s
+}
+
+// TestPlanExactHitsExcludedFromPenaltySum pins the /stats penalty
+// semantics: exact planned-batch hits record no penalty into the
+// aggregates (their penalty is 1.0 by construction and would drag the
+// mean routed penalty toward 1), while LastPenalty still reflects them.
+func TestPlanExactHitsExcludedFromPenaltySum(t *testing.T) {
+	_, ts := newPlannedServer(t)
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Model: "squeezenet", Batch: 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Plan.Exact != 3 || st.Plan.Routed != 0 {
+		t.Fatalf("plan stats = %+v, want 3 exact, 0 routed", st.Plan)
+	}
+	if st.Plan.PenaltySum != 0 || st.Plan.MaxPenalty != 0 {
+		t.Errorf("exact-only traffic recorded penalty sum %v max %v, want 0/0",
+			st.Plan.PenaltySum, st.Plan.MaxPenalty)
+	}
+	if st.Plan.LastPenalty != 1 {
+		t.Errorf("last penalty = %v, want the exact hit's 1.0", st.Plan.LastPenalty)
+	}
 }
 
 // TestPlanDoesNotHijackOtherConfigs pins the routing key: a request whose

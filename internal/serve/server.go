@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ios/internal/baseline"
+	"ios/internal/batching"
 	"ios/internal/blockcache"
 	"ios/internal/core"
 	"ios/internal/gpusim"
@@ -117,6 +118,12 @@ type Config struct {
 	// for unplanned batch sizes. Invalid plans are skipped (and logged).
 	// More plans can be added later with RegisterPlan / WarmPlans.
 	Plans []*plan.Plan
+	// Batching, when non-nil, enables the traffic-adaptive auto-batching
+	// front end: POST /infer coalesces single-image (or small-batch)
+	// inference requests into batches chosen from each registered plan's
+	// measured performance model under the configured SLO. nil disables
+	// /infer (requests get 404).
+	Batching *BatchingConfig
 	// Deadline, when positive, bounds each request's server-side
 	// processing time: the request context gets this timeout, an
 	// optimization that outlives it is cancelled (unless other live
@@ -163,6 +170,13 @@ type Server struct {
 	penaltySum  float64
 	lastPenalty float64
 	maxPenalty  float64
+
+	// Auto-batching front end: one lazily created Batcher per registered
+	// plan (keyed by plan pointer, so re-registering a plan retires the
+	// old batcher's key on its next lookup).
+	batchMu   sync.Mutex
+	batchers  map[*plan.Plan]*batching.Batcher
+	inferReqs int64
 
 	zooOnce sync.Once
 	zooInfo []ModelInfo
@@ -215,7 +229,8 @@ func NewServer(cfg Config) *Server {
 		bc = SharedBlockCache()
 	}
 	s := &Server{cfg: cfg, cache: cache, measure: mc, blocks: bc, mux: http.NewServeMux(), start: time.Now(),
-		plans: make(map[planKey]*plan.Plan), planMemo: make(map[planMemoKey]*planServed)}
+		plans: make(map[planKey]*plan.Plan), planMemo: make(map[planMemoKey]*planServed),
+		batchers: make(map[*plan.Plan]*batching.Batcher)}
 	for _, p := range cfg.Plans {
 		if err := s.RegisterPlan(p); err != nil {
 			s.logf("skipping invalid plan: %v", err)
@@ -226,6 +241,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/models", s.handleModels)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/plans", s.handlePlans)
+	s.mux.HandleFunc("/infer", s.handleInfer)
 	return s
 }
 
@@ -254,6 +270,28 @@ func (s *Server) RegisterPlan(p *plan.Plan) error {
 	return nil
 }
 
+// Plans returns the registered batch-specialization plans, sorted by
+// (model, device, options) — e.g. for persisting them at shutdown.
+func (s *Server) Plans() []*plan.Plan {
+	s.planMu.Lock()
+	out := make([]*plan.Plan, 0, len(s.plans))
+	for _, p := range s.plans {
+		out = append(out, p)
+	}
+	s.planMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Opts < b.Opts
+	})
+	return out
+}
+
 // planFor returns the registered plan matching a request key, or nil.
 func (s *Server) planFor(key Key) *plan.Plan {
 	s.planMu.Lock()
@@ -261,19 +299,23 @@ func (s *Server) planFor(key Key) *plan.Plan {
 	return s.plans[planKey{key.Model, key.Device, key.Opts}]
 }
 
-// recordRoute counts one plan-served request in the /stats counters.
+// recordRoute counts one plan-served answer in the /stats counters.
+// Only routed (non-exact) answers feed the penalty aggregates: an exact
+// hit's penalty is 1.0 by construction, so folding exact traffic into
+// PenaltySum would drag the mean toward 1 and hide how costly the
+// actual routing is. LastPenalty still tracks every answer.
 func (s *Server) recordRoute(penalty float64, exact bool) {
 	s.planMu.Lock()
 	if exact {
 		s.planExact++
 	} else {
 		s.planRouted++
+		s.penaltySum += penalty
+		if penalty > s.maxPenalty {
+			s.maxPenalty = penalty
+		}
 	}
 	s.lastPenalty = penalty
-	s.penaltySum += penalty
-	if penalty > s.maxPenalty {
-		s.maxPenalty = penalty
-	}
 	s.planMu.Unlock()
 }
 
@@ -402,9 +444,11 @@ type PlanStats struct {
 	// specialized schedule.
 	Exact  int64 `json:"exact"`
 	Routed int64 `json:"routed"`
-	// LastPenalty is the most recent plan-served request's recorded reuse
-	// penalty; PenaltySum accumulates them (mean = PenaltySum /
-	// (Exact+Routed)) and MaxPenalty tracks the worst routing so far.
+	// LastPenalty is the most recent plan-served answer's recorded reuse
+	// penalty (1.0 for an exact hit). PenaltySum and MaxPenalty cover
+	// ROUTED answers only — exact hits are 1.0 by construction and would
+	// skew the aggregate toward 1 — so the mean routed penalty is
+	// PenaltySum / Routed and MaxPenalty is the worst routing so far.
 	LastPenalty float64 `json:"last_penalty"`
 	PenaltySum  float64 `json:"penalty_sum"`
 	MaxPenalty  float64 `json:"max_penalty"`
@@ -427,6 +471,10 @@ type StatsResponse struct {
 	// Plan reports batch-specialization routing: how many requests were
 	// served from registered plans and at what recorded penalty.
 	Plan PlanStats `json:"plan"`
+	// Batch reports the auto-batching front end (POST /infer): per-plan
+	// queue depth, dispatch histogram, SLO violations, and the sweep
+	// batches the observed traffic suggests for a plan rebuild.
+	Batch BatchStats `json:"batch"`
 }
 
 // PlanInfo is one GET /plans row: a registered plan's identity plus its
@@ -717,7 +765,7 @@ func (s *Server) servePlanned(w http.ResponseWriter, ctx context.Context, res *r
 		s.failCompute(w, ctx, err)
 		return
 	}
-	e, err := s.plannedEntry(res, p, pt, exact)
+	e, err := s.plannedEntry(res.spec, p, pt, res.batch, exact)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -746,10 +794,13 @@ func (s *Server) servePlanned(w http.ResponseWriter, ctx context.Context, res *r
 // batch), computing it on the first request: bind the routed schedule at
 // the requested batch (exact hits reuse the plan point verbatim), measure
 // it and the sequential baseline, and pre-serialize the schedule JSON.
-// Every value is a deterministic function of the inputs, so concurrent
-// first requests may compute duplicates, and last-write-wins is benign.
-func (s *Server) plannedEntry(res *resolved, p *plan.Plan, pt *plan.Point, exact bool) (*planServed, error) {
-	key := planMemoKey{p: p, batch: res.batch}
+// The requested batch's graph comes from the plan point itself
+// (pt.Graph.WithBatch), so the entry works for any registered plan —
+// including ones loaded from disk — without zoo resolution. Every value
+// is a deterministic function of the inputs, so concurrent first
+// requests may compute duplicates, and last-write-wins is benign.
+func (s *Server) plannedEntry(spec gpusim.Spec, p *plan.Plan, pt *plan.Point, batch int, exact bool) (*planServed, error) {
+	key := planMemoKey{p: p, batch: batch}
 	s.planMu.Lock()
 	if e, ok := s.planMemo[key]; ok {
 		s.planMu.Unlock()
@@ -760,7 +811,7 @@ func (s *Server) plannedEntry(res *resolved, p *plan.Plan, pt *plan.Point, exact
 	g, sched, lat := pt.Graph, pt.Schedule, pt.Latency
 	if !exact {
 		var err error
-		if g, err = res.build(); err != nil {
+		if g, err = pt.Graph.WithBatch(batch); err != nil {
 			return nil, err
 		}
 		recipe, err := pt.Schedule.MarshalJSON()
@@ -771,9 +822,9 @@ func (s *Server) plannedEntry(res *resolved, p *plan.Plan, pt *plan.Point, exact
 			err = sched.Validate()
 		}
 		if err != nil {
-			return nil, fmt.Errorf("plan: route batch %d to planned batch %d: %w", res.batch, pt.Batch, err)
+			return nil, fmt.Errorf("plan: route batch %d to planned batch %d: %w", batch, pt.Batch, err)
 		}
-		if lat, err = s.newProfiler(res.spec).MeasureSchedule(sched); err != nil {
+		if lat, err = s.newProfiler(spec).MeasureSchedule(sched); err != nil {
 			return nil, err
 		}
 	}
@@ -781,7 +832,7 @@ func (s *Server) plannedEntry(res *resolved, p *plan.Plan, pt *plan.Point, exact
 	if err != nil {
 		return nil, err
 	}
-	seqLat, err := s.newProfiler(res.spec).MeasureSchedule(seq)
+	seqLat, err := s.newProfiler(spec).MeasureSchedule(seq)
 	if err != nil {
 		return nil, err
 	}
@@ -954,6 +1005,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MeasureCache: s.measure.Stats(),
 		BlockCache:   s.blocks.Stats(),
 		Plan:         planStats,
+		Batch:        s.batchStats(),
 	})
 }
 
