@@ -1,0 +1,139 @@
+// Command ioslint is the repository's static-analysis gate: a
+// multichecker over the custom analyzers in internal/lint, which
+// mechanically enforce the determinism, fingerprint-soundness,
+// context-discipline, and mutex-guard conventions the serving stack's
+// correctness claims rest on.
+//
+// Usage:
+//
+//	go run ./cmd/ioslint ./...          # analyze packages by pattern
+//	go run ./cmd/ioslint -list          # describe the analyzers
+//	go run ./cmd/ioslint -only determinism,fingerprint ./...
+//	go vet -vettool=$(which ioslint) ./...   # as a vet tool
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. In vettool
+// mode (invoked by `go vet` with a *.cfg file) findings exit 2, matching
+// the unitchecker convention.
+//
+// Suppress a deliberate exception at the offending line (or the line
+// above) with:
+//
+//	//lint:ioslint-ignore <analyzer> <reason>
+//
+// The suite is built on the standard library only (go/ast, go/types and
+// the stdlib source importer) so it runs in offline build environments;
+// it intentionally mirrors the golang.org/x/tools/go/analysis shapes so
+// it could migrate onto the real framework if the module ever takes that
+// dependency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ios/internal/lint"
+)
+
+func main() {
+	// The go vet driver probes its tool before use: -V=full for the
+	// build cache's tool ID, -flags for the supported analyzer flags.
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println("ioslint version dev")
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		os.Exit(vettoolMain(os.Args[len(os.Args)-1]))
+	}
+
+	var (
+		listFlag = flag.Bool("list", false, "describe the analyzers and exit")
+		jsonFlag = flag.Bool("json", false, "emit diagnostics as JSON")
+		onlyFlag = flag.String("only", "", "comma-separated subset of analyzers to run")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: ioslint [-list] [-json] [-only a,b] package-patterns...\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%s:\n  %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		var err error
+		analyzers, err = selectAnalyzers(analyzers, *onlyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioslint:", err)
+		os.Exit(2)
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			os.Exit(2)
+		}
+		all = append(all, diags...)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(os.Stderr, "ioslint: %d finding(s)\n", len(all))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by a comma-separated name list.
+func selectAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
+	index := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		index[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := index[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, fingerprint, ctxdiscipline, mutexguard)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ios/internal/lint"
+)
+
+// buildTool compiles the ioslint binary once per test process, into a
+// temp dir cleaned up on exit.
+var buildTool = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "ioslint-test-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "ioslint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("%v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if bin, err := buildTool(); err == nil {
+		os.RemoveAll(filepath.Dir(bin))
+	}
+	os.Exit(code)
+}
+
+func tool(t *testing.T) string {
+	t.Helper()
+	bin, err := buildTool()
+	if err != nil {
+		t.Fatalf("building ioslint: %v", err)
+	}
+	return bin
+}
+
+// runTool invokes the built binary and returns combined output and exit
+// code.
+func runTool(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(tool(t), args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running ioslint: %v", err)
+	}
+	return buf.String(), code
+}
+
+// TestBrokenModule runs the binary over a self-contained module seeded
+// with exactly one violation per analyzer, asserting the exit status and
+// each diagnostic's text and position.
+func TestBrokenModule(t *testing.T) {
+	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); output:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"det/det.go:9:9: [determinism] time.Now in a deterministic package",
+		"fp/fp.go:13:6: [fingerprint] fingerprint encoder Key does not consume Spec.Coef",
+		"ctxd/ctxd.go:10:14: [ctxdiscipline] function has a ctx parameter but calls context.Background",
+		"mg/mg.go:13:9: [mutexguard] Box.val is guarded by \"mu\" but Get neither locks b.mu",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "clean/clean.go") {
+		t.Errorf("clean package was flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "ioslint: 4 finding(s)") {
+		t.Errorf("want exactly 4 findings; got:\n%s", out)
+	}
+}
+
+// TestOnlyFilter restricts the suite to one analyzer.
+func TestOnlyFilter(t *testing.T) {
+	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "-only", "determinism", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[determinism]") || strings.Contains(out, "[mutexguard]") {
+		t.Errorf("-only determinism output wrong:\n%s", out)
+	}
+}
+
+// TestJSONOutput checks machine-readable mode parses and carries the
+// same findings.
+func TestJSONOutput(t *testing.T) {
+	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(diags), diags)
+	}
+}
+
+// TestUnknownAnalyzer checks the usage-error path.
+func TestUnknownAnalyzer(t *testing.T) {
+	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "-only", "nope", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, `unknown analyzer "nope"`) {
+		t.Errorf("missing unknown-analyzer message:\n%s", out)
+	}
+}
+
+// TestRepoClean is the dogfood gate: the suite must pass over this
+// repository itself.
+func TestRepoClean(t *testing.T) {
+	out, code := runTool(t, filepath.Join("..", ".."), "./...")
+	if code != 0 {
+		t.Fatalf("ioslint over the repo: exit %d, want 0; output:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("ioslint over the repo emitted output:\n%s", out)
+	}
+}
+
+// TestVettoolProtocol drives the binary through `go vet -vettool`,
+// exercising the unitchecker cfg path end to end.
+func TestVettoolProtocol(t *testing.T) {
+	bin := tool(t)
+
+	// Findings: go vet must fail and surface the diagnostic.
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./det")
+	cmd.Dir = filepath.Join("testdata", "brokenmod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on seeded module succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now in a deterministic package") {
+		t.Errorf("vet output missing diagnostic:\n%s", out)
+	}
+
+	// Clean: go vet must pass.
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./clean")
+	cmd.Dir = filepath.Join("testdata", "brokenmod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,15 @@
+// Package ctxd seeds one context-discipline violation.
+package ctxd
+
+import "context"
+
+func Work(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return step(context.Background())
+}
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,10 @@
+//ioslint:deterministic
+
+// Package det seeds one determinism violation.
+package det
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Package fp seeds one fingerprint violation: Key never consumes
+// Spec.Coef.
+package fp
+
+import "strconv"
+
+type Spec struct {
+	Name string  `fp:"include"`
+	Coef float64 `fp:"include"`
+}
+
+//ioslint:fingerprint Spec
+func Key(b []byte, s Spec) []byte {
+	return append(strconv.AppendInt(b, int64(len(s.Name)), 10), s.Name...)
+}

@@ -1,0 +1,14 @@
+// Package mg seeds one mutex-guard violation.
+package mg
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	// guarded by mu
+	val int
+}
+
+func (b *Box) Get() int {
+	return b.val
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"ios/internal/lint"
+)
+
+// vetConfig is the package description the go command hands a vet tool
+// (the unitchecker protocol): one JSON file per package, naming the
+// source files, the import remapping, and the export-data files of every
+// dependency. Field names follow cmd/go's internal vetConfig.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettoolMain analyzes one package from a vet .cfg file and returns the
+// process exit code (0 clean, 1 internal failure, 2 findings — the
+// unitchecker convention go vet expects).
+func vettoolMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioslint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ioslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// This tool exports no facts, but the go command requires the output
+	// file to exist to cache the (empty) result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data the go command compiled
+	// for this build, exactly as cmd/vet does.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := lint.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ioslint:", err)
+		return 1
+	}
+
+	// The go command includes _test.go files in test-variant packages;
+	// the suite's conventions do not apply to tests, so drop them here
+	// the way the pattern-mode loader never loads them.
+	kept := files[:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	pkg := &lint.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      kept,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := lint.RunAnalyzers(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioslint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

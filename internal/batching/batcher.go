@@ -66,18 +66,18 @@ type Batcher struct {
 	now  func() time.Time
 
 	mu         sync.Mutex
-	cond       *sync.Cond // signals the executor: work queued or closing
-	q          *Queue
-	waiters    map[uint64]chan Result
-	nextID     uint64
-	execQ      []timedDispatch
-	inflight   int
-	deviceFree time.Time
-	violations int64
-	timer      *time.Timer
-	timerAt    time.Time
-	closed     bool
-	idle       []chan struct{}
+	cond       *sync.Cond             // signals the executor: work queued or closing
+	q          *Queue                 // guarded by mu
+	waiters    map[uint64]chan Result // guarded by mu
+	nextID     uint64                 // guarded by mu
+	execQ      []timedDispatch        // guarded by mu
+	inflight   int                    // guarded by mu
+	deviceFree time.Time              // guarded by mu
+	violations int64                  // guarded by mu
+	timer      *time.Timer            // guarded by mu
+	timerAt    time.Time              // guarded by mu
+	closed     bool                   // guarded by mu
+	idle       []chan struct{}        // guarded by mu
 }
 
 // timedDispatch stamps a dispatch with its decision time, the moment
@@ -98,8 +98,9 @@ func NewBatcher(cfg Config, exec Exec) (*Batcher, error) {
 		return nil, err
 	}
 	b := &Batcher{
-		cfg:     cfg,
-		exec:    exec,
+		cfg:  cfg,
+		exec: exec,
+		//lint:ioslint-ignore determinism injected clock default; tests substitute a fake by assigning b.now
 		now:     time.Now,
 		q:       q,
 		waiters: make(map[uint64]chan Result),
@@ -182,6 +183,7 @@ func (b *Batcher) armTimerLocked(wake time.Time) {
 		d = 0
 	}
 	if b.timer == nil {
+		//lint:ioslint-ignore determinism real timer drives flush wake-ups only; queue decisions consume explicit timestamps
 		b.timer = time.AfterFunc(d, b.onTimer)
 	} else {
 		b.timer.Stop()
@@ -293,6 +295,7 @@ func (b *Batcher) Close() error {
 	}
 	b.closed = true
 	b.mu.Unlock()
+	//lint:ioslint-ignore ctxdiscipline Close is terminal and ctx-free by contract; cancellable shutdown goes through Drain
 	err := b.Drain(context.Background())
 	b.mu.Lock()
 	if b.timer != nil {

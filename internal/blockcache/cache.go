@@ -46,7 +46,7 @@ type Cache struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[string]*cell
+	m  map[string]*cell // guarded by mu
 }
 
 // cell is one fingerprint's slot. done is closed exactly once, after val

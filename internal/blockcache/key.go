@@ -1,3 +1,5 @@
+//ioslint:deterministic
+
 // Package blockcache is the whole-block schedule cache behind IOS's
 // search layer: a process-wide, concurrency-safe map from a canonical
 // structural fingerprint of one block — its DAG, its operators' lowered
@@ -175,6 +177,8 @@ func (e *keyEncoder) appendRef(n *graph.Node) {
 
 // appendOp encodes the full operator record: every field the search can
 // read through lowering, merge eligibility, or merged-kernel construction.
+//
+//ioslint:fingerprint ios/internal/graph.Op
 func (e *keyEncoder) appendOp(op graph.Op) {
 	e.key = appendInt(e.key, int(op.Kind))
 	e.key = appendInt(e.key, op.OutChannels)
@@ -191,6 +195,8 @@ func (e *keyEncoder) appendOp(op graph.Op) {
 }
 
 // appendShape encodes an NCHW tensor shape.
+//
+//ioslint:fingerprint ios/internal/graph.Shape
 func (e *keyEncoder) appendShape(s graph.Shape) {
 	e.key = appendInt(e.key, s.N)
 	e.key = appendInt(e.key, s.C)

@@ -1,0 +1,94 @@
+// Version-byte discipline tests for the block fingerprint, mirroring
+// internal/measure's: the fp:"include" field sets of the operator and
+// shape records the encoding covers are pinned per KeyVersion, so
+// widening either type without bumping the version byte fails here
+// instead of silently colliding with persisted caches from older builds.
+package blockcache_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ios/internal/blockcache"
+	"ios/internal/core"
+	"ios/internal/gpusim"
+	"ios/internal/graph"
+	"ios/internal/measure"
+	"ios/internal/profile"
+)
+
+// blockKeyV1Includes pins the exact fp:"include" field sets, in
+// declaration order, that KeyVersion 1 of the block encoding covers
+// (appendOp consumes Op; appendShape consumes Shape). The ioslint
+// fingerprint analyzer separately proves the encoders consume every
+// listed field.
+var blockKeyV1Includes = []struct {
+	typ  reflect.Type
+	want []string
+}{
+	{reflect.TypeOf(graph.Op{}), []string{
+		"Kind", "OutChannels", "KernelH", "KernelW", "StrideH", "StrideW",
+		"PadH", "PadW", "Groups", "Act", "Pool", "OutFeatures",
+	}},
+	{reflect.TypeOf(graph.Shape{}), []string{"N", "C", "H", "W"}},
+}
+
+// blockIncludeFields lists a struct's fp:"include" fields in declaration
+// order, failing on a field with a missing or unknown fp tag.
+func blockIncludeFields(t *testing.T, typ reflect.Type) []string {
+	t.Helper()
+	var fields []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		switch tag := f.Tag.Get("fp"); tag {
+		case "include":
+			fields = append(fields, f.Name)
+		case "exempt":
+		default:
+			t.Fatalf("%s.%s has fp tag %q; every field of a fingerprinted type must carry fp:\"include\" or fp:\"exempt\"", typ.Name(), f.Name, tag)
+		}
+	}
+	return fields
+}
+
+// TestBlockKeyVersionPinsIncludeSets fails when Op or Shape grows or
+// shrinks its fp:"include" set while blockcache.KeyVersion still says 1.
+func TestBlockKeyVersionPinsIncludeSets(t *testing.T) {
+	if blockcache.KeyVersion != 1 {
+		t.Fatalf("blockcache.KeyVersion = %d: the encoding moved on; re-pin blockKeyV1Includes for the new version", blockcache.KeyVersion)
+	}
+	for _, pin := range blockKeyV1Includes {
+		got := blockIncludeFields(t, pin.typ)
+		if !reflect.DeepEqual(got, pin.want) {
+			t.Errorf("%s fp:\"include\" fields = %v, want %v\nchanging the field set a block fingerprint covers requires bumping blockcache.KeyVersion and re-pinning this test", pin.typ.Name(), got, pin.want)
+		}
+	}
+}
+
+// TestFingerprintLeadsWithVersionBytes pins the wire layout the
+// persistence layer's stale-cache rejection depends on: byte 0 is the
+// block encoding's own version, and byte 1 — the start of the embedded
+// measurement context — is measure.KeyVersion, so a bump to EITHER
+// version invalidates persisted block caches.
+func TestFingerprintLeadsWithVersionBytes(t *testing.T) {
+	g := graph.New("v")
+	in := g.Input("in", graph.Shape{N: 1, C: 8, H: 8, W: 8})
+	g.Conv("c", in, graph.ConvOpts{Out: 8, Kernel: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	blocks, err := g.Partition(0)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	key := blockcache.Fingerprint(blocks[0], profile.New(gpusim.TeslaV100), core.Options{}.Fingerprint())
+	if len(key) < 2 {
+		t.Fatalf("fingerprint is %d bytes, want >= 2", len(key))
+	}
+	if key[0] != blockcache.KeyVersion {
+		t.Errorf("fingerprint byte 0 = %d, want blockcache.KeyVersion %d", key[0], blockcache.KeyVersion)
+	}
+	if key[1] != measure.KeyVersion {
+		t.Errorf("fingerprint byte 1 = %d, want measure.KeyVersion %d (embedded measurement context)", key[1], measure.KeyVersion)
+	}
+}

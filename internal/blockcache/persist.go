@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"ios/internal/schedule"
 )
@@ -42,10 +43,15 @@ type fileStage struct {
 }
 
 // Save writes every completed entry as JSON. In-flight entries are skipped
-// (their owners have not published a schedule yet). The output is
-// deterministic in content but not in order.
+// (their owners have not published a schedule yet). Entries are sorted by
+// fingerprint, so the file is a pure function of the cache contents:
+// identical runs produce byte-identical cache files.
 func (c *Cache) Save(w io.Writer) error {
-	out := cacheFile{Version: fileVersion}
+	type rawEntry struct {
+		key string
+		fe  fileEntry
+	}
+	var entries []rawEntry
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -54,7 +60,6 @@ func (c *Cache) Save(w io.Writer) error {
 				continue
 			}
 			fe := fileEntry{
-				Key:         base64.RawURLEncoding.EncodeToString([]byte(k)),
 				Ops:         e.val.Ops,
 				States:      e.val.States,
 				Transitions: e.val.Transitions,
@@ -62,9 +67,15 @@ func (c *Cache) Save(w io.Writer) error {
 			for _, st := range e.val.Stages {
 				fe.Stages = append(fe.Stages, fileStage{Strategy: st.Strategy.String(), Groups: st.Groups})
 			}
-			out.Entries = append(out.Entries, fe)
+			entries = append(entries, rawEntry{key: k, fe: fe})
 		}
 		sh.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	out := cacheFile{Version: fileVersion, Entries: make([]fileEntry, 0, len(entries))}
+	for _, re := range entries {
+		re.fe.Key = base64.RawURLEncoding.EncodeToString([]byte(re.key))
+		out.Entries = append(out.Entries, re.fe)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -41,6 +41,7 @@ type Result struct {
 // the optimal schedule for each block with the DP, and concatenates the
 // per-block stage lists. It is OptimizeContext with a background context.
 func Optimize(g *graph.Graph, prof *profile.Profiler, opts Options) (*Result, error) {
+	//lint:ioslint-ignore ctxdiscipline ctx-free convenience wrapper; cancellable searches use OptimizeContext
 	return OptimizeContext(context.Background(), g, prof, opts)
 }
 
@@ -68,6 +69,7 @@ func OptimizeWithProgress(ctx context.Context, g *graph.Graph, prof *profile.Pro
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	//lint:ioslint-ignore determinism wall-clock telemetry only; WallTime never feeds schedules, costs, or cache keys
 	start := time.Now()
 	// Refuse a dead context before the first simulator invocation: a
 	// pre-cancelled search must not measure a single stage.
@@ -133,6 +135,7 @@ func OptimizeWithProgress(ctx context.Context, g *graph.Graph, prof *profile.Pro
 		stats.Measurements += out.stats.Measurements
 	}
 	stats.Measurements += prof.Measurements - m0
+	//lint:ioslint-ignore determinism wall-clock telemetry only; WallTime never feeds schedules, costs, or cache keys
 	stats.WallTime = time.Since(start)
 	if err := sched.Validate(); err != nil {
 		return nil, fmt.Errorf("core: produced invalid schedule: %w", err)
@@ -168,6 +171,7 @@ type choice struct {
 // (retained in dp_reference.go as the oracle the property tests compare
 // against) for any worker count.
 func OptimizeBlock(b *graph.Block, prof *profile.Profiler, opts Options) ([]schedule.Stage, Stats, error) {
+	//lint:ioslint-ignore ctxdiscipline ctx-free convenience wrapper; cancellable searches use OptimizeBlockContext
 	return OptimizeBlockContext(context.Background(), b, prof, opts)
 }
 

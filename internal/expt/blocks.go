@@ -57,9 +57,9 @@ func BlockCacheRows(c Config) ([]BlockRow, error) {
 	names, graphs := c.benchmarks()
 	for i, g := range graphs {
 		timed := func(opts core.Options) (*core.Result, float64, error) {
-			start := time.Now()
+			start := time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 			res, err := core.Optimize(g, profile.New(c.Device), opts)
-			return res, float64(time.Since(start)) / 1e6, err
+			return res, float64(time.Since(start)) / 1e6, err //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 		}
 		uncached, uncachedMS, err := timed(c.Opts)
 		if err != nil {

@@ -1,3 +1,5 @@
+//ioslint:deterministic
+
 // Package expt regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md §3 for the experiment index). Each experiment
 // is a function that computes structured rows and renders them as text;

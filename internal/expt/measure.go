@@ -53,9 +53,9 @@ func MeasureCacheRows(c Config) ([]MeasureRow, error) {
 	names, graphs := c.benchmarks()
 	for i, g := range graphs {
 		timed := func(p *profile.Profiler) (*core.Result, float64, error) {
-			start := time.Now()
+			start := time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 			res, err := core.Optimize(g, p, c.Opts)
-			return res, float64(time.Since(start)) / 1e6, err
+			return res, float64(time.Since(start)) / 1e6, err //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 		}
 		uncached, uncachedMS, err := timed(profile.New(c.Device))
 		if err != nil {

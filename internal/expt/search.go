@@ -180,14 +180,14 @@ func SearchCostRows(c Config) ([]SearchRow, error) {
 			opts := c.Opts
 			opts.Workers = w
 			if hardest != nil {
-				start := time.Now()
+				start := time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 				_, bstats, err := core.OptimizeBlock(hardest, profile.New(c.Device), opts)
 				if err != nil {
 					return nil, err
 				}
 				rows = append(rows, SearchRow{
 					Network: names[i], Scope: "block", Ops: len(hardest.Nodes), Workers: w,
-					WallMS: float64(time.Since(start)) / 1e6,
+					WallMS: float64(time.Since(start)) / 1e6, //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
 					States: bstats.States, Transitions: bstats.Transitions, Measurements: bstats.Measurements,
 				})
 			}

@@ -62,6 +62,7 @@ func SpecializeRows(c Config, batches []int) ([]SpecializeRow, error) {
 		// every cross-measurement of the sweep deduplicates against it.
 		root := profile.New(c.Device)
 		root.SetMeasureCache(measure.NewCache())
+		//lint:ioslint-ignore ctxdiscipline experiment runners own their lifecycle; the Runner API is ctx-free by design
 		p, err := plan.Build(context.Background(), plan.BuildConfig{
 			Graph:       build(1),
 			Batches:     batches,

@@ -107,6 +107,7 @@ func trafficRequests(c Config) int {
 // buildTrafficPlan builds a specialization plan for the study, sharing
 // one structural measurement cache across the pilot and rebuilt plans.
 func buildTrafficPlan(c Config, root *profile.Profiler, build models.Builder, batches []int) (*plan.Plan, error) {
+	//lint:ioslint-ignore ctxdiscipline experiment runners own their lifecycle; the Runner API is ctx-free by design
 	return plan.Build(context.Background(), plan.BuildConfig{
 		Graph:       build(1),
 		Batches:     batches,

@@ -7,17 +7,21 @@ import "fmt"
 // (a separable convolution becomes a depthwise kernel plus a pointwise
 // kernel; a merged stage becomes a single wider kernel plus an optional
 // split copy).
+// The fp tags declare which fields enter the measurement cache key
+// (measure.AppendStreams): Name is a trace label with no effect on
+// simulated latency, so it is fp:"exempt" — two lowerings that differ
+// only in kernel names must share a cache entry.
 type Kernel struct {
 	// Name labels the kernel in traces.
-	Name string
+	Name string `fp:"exempt"`
 	// FLOPs is the arithmetic work of the launch.
-	FLOPs float64
+	FLOPs float64 `fp:"include"`
 	// Bytes is the DRAM traffic of the launch.
-	Bytes float64
+	Bytes float64 `fp:"include"`
 	// Blocks is the number of thread blocks in the grid.
-	Blocks int
+	Blocks int `fp:"include"`
 	// WarpsPerBlock is the number of warps per thread block.
-	WarpsPerBlock int
+	WarpsPerBlock int `fp:"include"`
 }
 
 // DefaultThreadsPerBlock is the block size assumed when deriving grids

@@ -1,3 +1,5 @@
+//ioslint:deterministic
+
 // Package gpusim simulates a CUDA-capable GPU executing kernels from
 // multiple streams. It is the repository's substitute for cuDNN on real
 // NVIDIA hardware (see DESIGN.md §1): a deterministic fluid
@@ -23,37 +25,46 @@ package gpusim
 
 // Spec describes a simulated GPU. Presets below are calibrated to the
 // published specifications of the devices used in the paper.
+//
+// Every field influences simulated latency, so every field is
+// fp:"include": the measurement cache's context key (measure.Context)
+// must encode all of them, and ioslint's fingerprint analyzer enforces
+// that any field added here is either encoded there or explicitly
+// tagged fp:"exempt".
 type Spec struct {
-	// Name identifies the device in reports.
-	Name string
+	// Name identifies the device in reports. It is part of cache
+	// identity too: presets share numeric parameters across generations
+	// often enough that dropping Name from the key aliased distinct
+	// devices once already (PR 4).
+	Name string `fp:"include"`
 	// SMs is the number of streaming multiprocessors.
-	SMs int
+	SMs int `fp:"include"`
 	// PeakFLOPs is the whole-device single-precision peak, FLOP/s.
-	PeakFLOPs float64
+	PeakFLOPs float64 `fp:"include"`
 	// MemBandwidth is the DRAM bandwidth in bytes/s.
-	MemBandwidth float64
+	MemBandwidth float64 `fp:"include"`
 	// BlocksPerSM is the maximum number of resident thread blocks per SM.
-	BlocksPerSM int
+	BlocksPerSM int `fp:"include"`
 	// WarpsPerSM is the maximum number of resident warps per SM.
-	WarpsPerSM int
+	WarpsPerSM int `fp:"include"`
 	// WarpsForPeak is the number of resident warps per SM required to
 	// reach per-SM peak throughput; below it, throughput scales linearly
 	// (latency hiding fails with too few eligible warps, Section 6.3).
-	WarpsForPeak int
+	WarpsForPeak int `fp:"include"`
 	// KernelLaunch is the serialized per-kernel launch overhead in
 	// seconds (driver + dispatch), paid on the kernel's stream.
-	KernelLaunch float64
+	KernelLaunch float64 `fp:"include"`
 	// StageSync is the per-stage synchronization overhead in seconds
 	// (event wait / stream sync at stage barriers).
-	StageSync float64
+	StageSync float64 `fp:"include"`
 	// ContentionCoef is the fractional memory-system slowdown added per
 	// extra co-running kernel (shared L2 / DRAM row conflicts). Low-end
 	// parts have higher coefficients, which is why the same schedule can
 	// win on a V100 and lose on a K80 (Section 1).
-	ContentionCoef float64
+	ContentionCoef float64 `fp:"include"`
 	// MaxConcurrentKernels bounds hardware-concurrent kernels (CUDA
 	// limit is 32-128 depending on architecture).
-	MaxConcurrentKernels int
+	MaxConcurrentKernels int `fp:"include"`
 }
 
 // Preset devices. Peak numbers follow the paper's Figure 1 and vendor

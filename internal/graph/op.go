@@ -113,26 +113,32 @@ func (p PoolKind) String() string {
 
 // Op holds the operator type and hyperparameters of a node. Fields are
 // meaningful only for the kinds that use them.
+//
+// Every field can influence lowering, merge eligibility, or merged-kernel
+// construction, so every field is fp:"include": the block cache's
+// structural fingerprint (blockcache appendOp) must encode all of them,
+// and ioslint's fingerprint analyzer enforces that any field added here
+// is either encoded there or explicitly tagged fp:"exempt".
 type Op struct {
-	Kind OpKind
+	Kind OpKind `fp:"include"`
 
 	// Convolution / pooling geometry.
-	OutChannels      int // Conv, SepConv: number of output channels
-	KernelH, KernelW int // Conv, SepConv, Pool
-	StrideH, StrideW int // Conv, SepConv, Pool
-	PadH, PadW       int // zero padding on each side
-	Groups           int // Conv: grouped convolution factor (1 = dense)
+	OutChannels      int `fp:"include"` // Conv, SepConv: number of output channels
+	KernelH, KernelW int `fp:"include"` // Conv, SepConv, Pool
+	StrideH, StrideW int `fp:"include"` // Conv, SepConv, Pool
+	PadH, PadW       int `fp:"include"` // zero padding on each side
+	Groups           int `fp:"include"` // Conv: grouped convolution factor (1 = dense)
 
 	// Act is the activation fused into this operator, if any. For
 	// OpSepConv the paper's unit is Relu-SepConv: the activation is
 	// applied before the depthwise kernel.
-	Act Activation
+	Act Activation `fp:"include"`
 
 	// Pool selects max or average pooling for OpPool.
-	Pool PoolKind
+	Pool PoolKind `fp:"include"`
 
 	// OutFeatures is the output width of OpMatmul.
-	OutFeatures int
+	OutFeatures int `fp:"include"`
 }
 
 // String renders a compact human-readable description, e.g.

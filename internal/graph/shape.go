@@ -3,9 +3,11 @@ package graph
 import "fmt"
 
 // Shape is an NCHW tensor shape. Fully connected activations use C as the
-// feature dimension with H = W = 1.
+// feature dimension with H = W = 1. All four dimensions enter the block
+// cache's structural fingerprint (blockcache appendShape), enforced by
+// ioslint's fingerprint analyzer via the fp tag.
 type Shape struct {
-	N, C, H, W int
+	N, C, H, W int `fp:"include"`
 }
 
 // Elems returns the number of scalar elements in the shape.

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDiscipline enforces the context-first API contract PR 3 introduced:
+// cancellation must thread through every layer, which it cannot do if a
+// library function quietly severs the chain. Three rules, applied to
+// every non-main package (commands and tests own their lifecycles and
+// are exempt):
+//
+//  1. library code must not manufacture context.Background() or
+//     context.TODO() — a fresh root context detaches everything beneath
+//     it from the caller's cancellation;
+//  2. a function that takes a ctx must not drop it on the floor: calling
+//     a ctx-aware callee without ever using the parameter means the
+//     signature promises cancellation the body does not deliver;
+//  3. a select case receiving from ctx.Done() that returns an error must
+//     propagate (a wrap of) ctx.Err(), not a made-up error and not nil —
+//     callers distinguish cancellation from failure with errors.Is.
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "Library functions must not manufacture context.Background/TODO, " +
+		"must not ignore a ctx parameter while calling ctx-aware callees, and " +
+		"must propagate ctx.Err() when returning on a ctx.Done() path.",
+	Run: runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // commands legitimately create root contexts
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkCtxFunc applies all three rules within one declared function
+// (function literals inside it included — they share the enclosing
+// function's ctx discipline).
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	ctxParams := contextParams(pass, fd)
+
+	usesCtxParam := false
+	var firstCtxAwareCall *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.ObjectOf(n); obj != nil && ctxParams[obj] {
+				usesCtxParam = true
+			}
+		case *ast.CallExpr:
+			if name, ok := backgroundOrTODO(pass, n); ok {
+				if len(ctxParams) > 0 {
+					pass.Reportf(n.Pos(), "function has a ctx parameter but calls context.%s: pass the caller's ctx (or a context derived from it) so cancellation reaches this call", name)
+				} else {
+					pass.Reportf(n.Pos(), "library code calls context.%s: thread a caller-provided ctx instead (root contexts belong in cmd/ and tests)", name)
+				}
+			}
+			if firstCtxAwareCall == nil && calleeTakesContext(pass, n) {
+				firstCtxAwareCall = n
+			}
+		case *ast.SelectStmt:
+			checkDoneSelect(pass, fd, n)
+		}
+		return true
+	})
+
+	if len(ctxParams) > 0 && !usesCtxParam && firstCtxAwareCall != nil {
+		pass.Reportf(firstCtxAwareCall.Pos(), "function takes a ctx it never uses, yet calls a ctx-aware callee here: pass the ctx through (or drop the parameter)")
+	}
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+// Blank-named parameters are excluded: `_ context.Context` is an
+// explicit, visible statement that the context is unused.
+func contextParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	m := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return m
+	}
+	for _, fld := range fd.Type.Params.List {
+		if t := pass.Info.TypeOf(fld.Type); t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range fld.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				m[obj] = true
+			}
+		}
+	}
+	return m
+}
+
+// backgroundOrTODO reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func backgroundOrTODO(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// calleeTakesContext reports whether call's callee's first parameter is
+// a context.Context.
+func calleeTakesContext(pass *Pass, call *ast.CallExpr) bool {
+	fn := calledFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkDoneSelect applies rule 3 to one select statement: every return
+// in a `case <-ctx.Done():` clause whose function returns an error must
+// involve ctx.Err() (or context.Cause), directly or via a variable
+// assigned from it within the clause.
+func checkDoneSelect(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectStmt) {
+	if !funcReturnsError(pass, fd) {
+		return
+	}
+	for _, stmt := range sel.Body.List {
+		clause, ok := stmt.(*ast.CommClause)
+		if !ok || clause.Comm == nil {
+			continue
+		}
+		ctxExpr := doneRecv(pass, clause.Comm)
+		if ctxExpr == nil {
+			continue
+		}
+		// Variables assigned from ctx.Err()-involving expressions within
+		// the clause count as propagating it.
+		derived := map[types.Object]bool{}
+		for _, s := range clause.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for i, rhs := range as.Rhs {
+						if i < len(as.Lhs) && involvesCtxErr(pass, rhs, derived) {
+							if id, ok := as.Lhs[i].(*ast.Ident); ok {
+								if obj := pass.Info.ObjectOf(id); obj != nil {
+									derived[obj] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, s := range clause.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // its own function, its own returns
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				if len(ret.Results) == 0 {
+					// Naked return: named error result must have been
+					// assigned a derived value in this clause.
+					if !anyDerived(derived) {
+						pass.Reportf(ret.Pos(), "return on ctx.Done() path loses the cancellation cause: set the error result from ctx.Err() (wrapped: fmt.Errorf(\"...: %%w\", ctx.Err()))")
+					}
+					return true
+				}
+				last := ret.Results[len(ret.Results)-1]
+				if !involvesCtxErr(pass, last, derived) {
+					pass.Reportf(ret.Pos(), "return on ctx.Done() path does not propagate ctx.Err(): callers must be able to errors.Is the result against context.Canceled/DeadlineExceeded (wrap it: fmt.Errorf(\"...: %%w\", ctx.Err()))")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// anyDerived reports whether any ctx.Err()-derived variable exists.
+func anyDerived(derived map[types.Object]bool) bool { return len(derived) > 0 }
+
+// doneRecv returns the context expression of a `case <-ctx.Done():`
+// comm statement, or nil.
+func doneRecv(pass *Pass, comm ast.Stmt) ast.Expr {
+	expr, ok := comm.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	un, ok := expr.X.(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	call, ok := un.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != "Done" {
+		return nil
+	}
+	if t := pass.Info.TypeOf(s.X); t == nil || !isContextType(t) {
+		return nil
+	}
+	return s.X
+}
+
+// involvesCtxErr reports whether expr contains a call to
+// (context.Context).Err, context.Cause, or a variable previously derived
+// from one.
+func involvesCtxErr(pass *Pass, expr ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if s.Sel.Name == "Err" {
+					if t := pass.Info.TypeOf(s.X); t != nil && isContextType(t) {
+						found = true
+					}
+				}
+				if fn, ok := pass.Info.Uses[s.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "context" && fn.Name() == "Cause" {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.ObjectOf(n); obj != nil && derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// funcReturnsError reports whether fd's last result is of type error.
+func funcReturnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	sig, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := sig.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	linttest.Run(t, lint.CtxDiscipline, filepath.Join("testdata", "src", "ctxdiscipline"))
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicDirective marks a package whose outputs must be pure
+// functions of its inputs: place the comment (verbatim, on its own line)
+// in any file of the package, conventionally next to the package clause.
+const DeterministicDirective = "ioslint:deterministic"
+
+// Determinism flags nondeterminism hazards in declared-deterministic
+// packages. The repository's replay guarantees — bit-identical schedules
+// across cache hits and restarts, a batching queue that is a pure state
+// machine over explicit timestamps — hold only while those packages
+// never read a wall clock, never draw from global (unseeded) random
+// state, and never let Go's randomized map iteration order reach an
+// output: an append that escapes the loop unsorted, a serialized byte
+// stream, or a fingerprint encoder.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "In packages marked //ioslint:deterministic, flag wall-clock reads " +
+		"(time.Now, time.Sleep, ...), global math/rand state, and ranging over " +
+		"a map where the iteration order can reach an append, serialized " +
+		"output, or fingerprint encoder.",
+	Run: runDeterminism,
+}
+
+// bannedTimeFuncs are the time-package functions that read or depend on
+// the wall clock. Constructing explicit times (time.Date, time.Unix) and
+// pure arithmetic (Duration methods) stay allowed.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that produce
+// explicitly seeded generators — the deterministic idiom the rest of the
+// repository uses. Everything else at package scope draws from (or
+// perturbs) the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !hasDirective(pass.Files, DeterministicDirective) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue // tests may use clocks and unsorted maps freely
+		}
+		checkBannedRefs(pass, f)
+		walkFuncs(f, func(n ast.Node, stack funcStack) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			if t := pass.Info.TypeOf(rs.X); t == nil || !isMap(t) {
+				return
+			}
+			checkMapRange(pass, rs, stack.enclosing())
+		})
+	}
+	return nil
+}
+
+// checkBannedRefs reports every reference (call or value use) to a
+// banned time or global math/rand function.
+func checkBannedRefs(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Intn) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s in a deterministic package: outputs must not depend on the wall clock (inject a clock or take timestamps as input)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "global %s.%s in a deterministic package: draw from an explicitly seeded *rand.Rand instead", pathBase(fn.Pkg().Path()), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// sinks. Two hazard classes:
+//
+//   - an append whose destination outlives the loop and is never sorted
+//     afterwards in the same function (the sorted-keys idiom — append
+//     then sort.X/slices.SortX — is accepted);
+//   - a call to a serialization-shaped callee (Write*, Encode*,
+//     Marshal*, Fprint*, append*/Append* key builders, anything named
+//     *Fingerprint*) while iterating, which bakes the random order into
+//     an output byte stream directly.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(dst)
+				if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+					continue // loop-local accumulator dies with the iteration
+				}
+				if sortedAfter(pass, enclosing, obj) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "append to %q inside range over map: iteration order is nondeterministic and the result is never sorted in this function (sort it, or iterate sorted keys)", dst.Name)
+			}
+		case *ast.CallExpr:
+			name, ok := sinkCalleeName(pass, n)
+			if ok {
+				pass.Reportf(n.Pos(), "call to %s inside range over map: nondeterministic iteration order reaches serialized output", name)
+			}
+		}
+		return true
+	})
+}
+
+// sinkCalleeName reports whether call's callee is serialization-shaped
+// and returns its display name.
+func sinkCalleeName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		if isBuiltinAppend(pass, call) {
+			return "", false // handled by the append rule
+		}
+		name = fun.Name
+	default:
+		return "", false
+	}
+	switch {
+	case strings.Contains(name, "Fingerprint"),
+		strings.HasPrefix(name, "Write"),
+		strings.HasPrefix(name, "Encode"),
+		strings.HasPrefix(name, "Marshal"),
+		strings.HasPrefix(name, "Fprint"),
+		strings.HasPrefix(name, "Append"),
+		strings.HasPrefix(name, "append"):
+		return name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether the enclosing function contains a
+// sort/slices call taking obj as an argument — the canonical
+// collect-then-sort idiom that makes a map-range append deterministic
+// again.
+func sortedAfter(pass *Pass, enclosing ast.Node, obj types.Object) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Info.Uses[pkgIdent].(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, filepath.Join("testdata", "src", "determinism"))
+}
+
+// TestDeterminismRequiresDirective checks the analyzer is opt-in: the
+// same hazards in an unmarked package produce no findings.
+func TestDeterminismRequiresDirective(t *testing.T) {
+	linttest.Run(t, lint.Determinism, filepath.Join("testdata", "src", "unmarked"))
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestFingerprint(t *testing.T) {
+	linttest.Run(t, lint.Fingerprint, filepath.Join("testdata", "src", "fingerprint"))
+}

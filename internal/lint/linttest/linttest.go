@@ -1,0 +1,162 @@
+// Package linttest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want "regexp"` comments, the analysistest
+// convention: every diagnostic must be expected on its exact line, and
+// every expectation must be matched. Fixtures live under
+// testdata/src/<pkg>/ and are ordinary compilable Go restricted to
+// standard-library imports (they are type-checked with the stdlib source
+// importer, so the suite stays dependency-free and offline-friendly).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ios/internal/lint"
+)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (e.g. "testdata/src/determinism"),
+// runs the analyzer (ignore-directive filtering included), and reports
+// any mismatch between produced and wanted diagnostics on t.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// loadFixture parses and type-checks the fixture directory as one
+// package.
+func loadFixture(dir string) (*lint.Package, error) {
+	// Match the loader's view: pure Go, so stdlib imports in fixtures
+	// never pull in cgo.
+	build.Default.CgoEnabled = false
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkgPath := filepath.Base(dir)
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture does not type-check: %v", err)
+	}
+	return &lint.Package{
+		ImportPath: pkgPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// wantRe matches one quoted pattern of a want comment: a double-quoted
+// Go string or a backquoted raw string.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants extracts the `// want` expectations from every comment.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pattern := strings.Trim(q, "`")
+					if q[0] == '"' {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant marks and reports the first unmatched expectation covering d.
+func matchWant(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package ctxdiscipline is the fixture for the ctxdiscipline analyzer:
+// manufactured root contexts, dropped ctx parameters, and ctx.Done()
+// paths that lose the cancellation cause.
+package ctxdiscipline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+func compute(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+func makesRoot(n int) (int, error) {
+	return compute(context.Background(), n) // want `library code calls context\.Background`
+}
+
+func hasCtxButRoots(ctx context.Context, n int) (int, error) {
+	return compute(context.TODO(), n) // want `function has a ctx parameter but calls context\.TODO` `function takes a ctx it never uses`
+}
+
+type carrier struct{ ctx context.Context }
+
+func dropsCtx(ctx context.Context, c carrier, n int) (int, error) {
+	return compute(c.ctx, n) // want `function takes a ctx it never uses`
+}
+
+func threads(ctx context.Context, n int) (int, error) {
+	return compute(ctx, n) // ok: the parameter flows through
+}
+
+func explicitlyUnused(_ context.Context, c carrier, n int) (int, error) {
+	return compute(c.ctx, n) // ok: blank ctx parameter is a visible opt-out
+}
+
+func waits(ctx context.Context, ch <-chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, fmt.Errorf("waiting: %w", ctx.Err()) // ok: wrapped cause
+	}
+}
+
+func derivedErr(ctx context.Context, ch <-chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		err := fmt.Errorf("waiting: %w", ctx.Err())
+		return 0, err // ok: variable derived from ctx.Err() in this clause
+	}
+}
+
+func losesCause(ctx context.Context, ch <-chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, errors.New("cancelled") // want `does not propagate ctx\.Err`
+	}
+}
+
+func swallowsCancellation(ctx context.Context, ch <-chan int) error {
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return nil // want `does not propagate ctx\.Err`
+	}
+}

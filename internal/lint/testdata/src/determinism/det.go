@@ -1,0 +1,85 @@
+//ioslint:deterministic
+
+// Package determinism is the fixture for the determinism analyzer: each
+// flagged form sits next to the accepted idiom that replaces it.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+func explicitTime() time.Time {
+	return time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC) // ok: pure construction
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn in a deterministic package`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded generator
+	return r.Intn(10)
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted before use below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func localAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // ok: accumulator dies with the iteration
+		total += len(local)
+	}
+	return total
+}
+
+func serializeUnsorted(m map[string]int) []byte {
+	var buf []byte
+	for k, v := range m {
+		buf = appendEntry(buf, k, v) // want `call to appendEntry inside range over map`
+	}
+	return buf
+}
+
+func serializeSorted(m map[string]int) []byte {
+	var buf []byte
+	for _, k := range sortedKeys(m) {
+		buf = appendEntry(buf, k, m[k]) // ok: slice range, order fixed by sort
+	}
+	return buf
+}
+
+func appendEntry(b []byte, k string, v int) []byte {
+	b = append(b, k...)
+	return fmt.Appendf(b, "=%d;", v)
+}

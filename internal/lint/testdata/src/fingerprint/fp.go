@@ -1,0 +1,66 @@
+// Package fingerprint is the fixture for the fingerprint analyzer. Spec
+// and badEncoder reproduce the PR-4 near-miss: a backend description
+// whose Name participates in cache identity but is skipped by the key
+// encoder, so two specs differing only in Name alias one cache entry.
+package fingerprint
+
+import "strconv"
+
+// Spec is a miniature of gpusim.Spec: every latency-relevant field is
+// fp:"include", commentary is fp:"exempt".
+type Spec struct {
+	Name           string  `fp:"include"`
+	SMs            int     `fp:"include"`
+	ContentionCoef float64 `fp:"include"`
+	Comment        string  `fp:"exempt"`
+}
+
+// goodEncoder consumes every included field, Name through a helper —
+// the analyzer follows same-package calls.
+//
+//ioslint:fingerprint Spec
+func goodEncoder(b []byte, s Spec) []byte {
+	b = appendString(b, s.Name)
+	b = strconv.AppendInt(b, int64(s.SMs), 10)
+	return strconv.AppendFloat(b, s.ContentionCoef, 'g', -1, 64)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	return append(b, s...)
+}
+
+// badEncoder skips Name: the aliasing shape the convention exists to
+// rule out.
+//
+//ioslint:fingerprint Spec
+func badEncoder(b []byte, s Spec) []byte { // want `fingerprint encoder badEncoder does not consume Spec\.Name`
+	b = strconv.AppendInt(b, int64(s.SMs), 10)
+	return strconv.AppendFloat(b, s.ContentionCoef, 'g', -1, 64)
+}
+
+// Partial uses fp tags but leaves one field undeclared either way.
+type Partial struct {
+	A int `fp:"include"`
+	B int // want `field B of fingerprinted struct Partial has no fp tag`
+}
+
+// Mistagged uses a value outside the include/exempt vocabulary.
+type Mistagged struct {
+	A int `fp:"include"`
+	B int `fp:"maybe"` // want `field B of fingerprinted struct Mistagged has fp:"maybe"`
+}
+
+// Untagged has no fp tags at all, so annotating an encoder for it is an
+// error: the convention must be adopted on the struct first.
+type Untagged struct{ X int }
+
+//ioslint:fingerprint Untagged
+func untaggedEncoder(b []byte, u Untagged) []byte { // want `Untagged has no fp-tagged fields`
+	return append(b, byte(u.X))
+}
+
+//ioslint:fingerprint NoSuchType
+func danglingDirective(b []byte) []byte { // want `type NoSuchType not found`
+	return b
+}

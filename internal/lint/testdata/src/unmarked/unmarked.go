@@ -1,0 +1,9 @@
+// Package unmarked contains determinism hazards but no
+// ioslint:deterministic directive: the analyzer must stay silent here.
+package unmarked
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // no want: package is not declared deterministic
+}

@@ -41,7 +41,7 @@ type Cache struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[string]*entry
+	m  map[string]*entry // guarded by mu
 }
 
 // entry is one fingerprint's slot. The done/mu pair makes it a

@@ -1,3 +1,5 @@
+//ioslint:deterministic
+
 // Package measure is the structural measurement cache behind IOS's
 // profiling layer: a process-wide, concurrency-safe map from a canonical
 // stage fingerprint to the exact simulated latency of that stage.
@@ -50,6 +52,8 @@ const KeyVersion = 1
 // cache. Custom backends sharing a cache must therefore use distinct
 // Spec names — the same convention the serving tier's schedule cache
 // already relies on.
+//
+//ioslint:fingerprint ios/internal/gpusim.Spec
 func Context(spec gpusim.Spec, extraLaunchOverhead float64) []byte {
 	key := make([]byte, 0, 96+len(spec.Name))
 	key = append(key, KeyVersion)
@@ -81,6 +85,8 @@ func Context(spec gpusim.Spec, extraLaunchOverhead float64) []byte {
 // is preserved: callers measuring canonically ordered stages (as the DP
 // engine and MeasureStage both do) get position-invariant sharing without
 // this package having to assert that the simulator is order-invariant.
+//
+//ioslint:fingerprint ios/internal/gpusim.Kernel
 func AppendStreams(key []byte, streams []gpusim.Stream) []byte {
 	key = appendInt(key, len(streams))
 	for _, s := range streams {

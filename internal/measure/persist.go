@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // fileVersion is the persisted-file format version (independent of
@@ -30,22 +31,32 @@ type fileEntry struct {
 }
 
 // Save writes every completed entry as JSON. In-flight entries are
-// skipped (their owners have not published a latency yet). The output is
-// deterministic in content but not in order.
+// skipped (their owners have not published a latency yet). Entries are
+// sorted by fingerprint, so the file is a pure function of the cache
+// contents: identical runs produce byte-identical cache files.
 func (c *Cache) Save(w io.Writer) error {
-	out := cacheFile{Version: fileVersion}
+	type rawEntry struct {
+		key string
+		lat float64
+	}
+	var entries []rawEntry
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		for k, e := range sh.m {
 			if e.done.Load() {
-				out.Entries = append(out.Entries, fileEntry{
-					Key:     base64.RawURLEncoding.EncodeToString([]byte(k)),
-					Latency: e.lat,
-				})
+				entries = append(entries, rawEntry{key: k, lat: e.lat})
 			}
 		}
 		sh.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	out := cacheFile{Version: fileVersion, Entries: make([]fileEntry, 0, len(entries))}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, fileEntry{
+			Key:     base64.RawURLEncoding.EncodeToString([]byte(e.key)),
+			Latency: e.lat,
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

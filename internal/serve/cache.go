@@ -119,15 +119,15 @@ type slot struct {
 // call NewScheduleCache.
 type ScheduleCache struct {
 	mu        sync.Mutex
-	cap       int
-	slots     map[Key]*slot
-	clock     int64
-	hits      int64
-	misses    int64
-	coal      int64
-	evicted   int64
-	errs      int64
-	cancelled int64
+	cap       int           // immutable after construction
+	slots     map[Key]*slot // guarded by mu
+	clock     int64         // guarded by mu
+	hits      int64         // guarded by mu
+	misses    int64         // guarded by mu
+	coal      int64         // guarded by mu
+	evicted   int64         // guarded by mu
+	errs      int64         // guarded by mu
+	cancelled int64         // guarded by mu
 }
 
 // NewScheduleCache returns a cache holding up to capacity completed

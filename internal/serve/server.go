@@ -158,25 +158,25 @@ type Server struct {
 	statsReqs     int64
 	plansReqs     int64
 	cancelledReqs int64
+	inferReqs     int64
 
 	// Batch-specialization plans, keyed by the specialization axes minus
 	// batch (which plans span). planMu also guards the float penalty
 	// counters, which atomics cannot cover, and the routing memo.
 	planMu      sync.Mutex
-	plans       map[planKey]*plan.Plan
-	planMemo    map[planMemoKey]*planServed
-	planExact   int64
-	planRouted  int64
-	penaltySum  float64
-	lastPenalty float64
-	maxPenalty  float64
+	plans       map[planKey]*plan.Plan      // guarded by planMu
+	planMemo    map[planMemoKey]*planServed // guarded by planMu
+	planExact   int64                       // guarded by planMu
+	planRouted  int64                       // guarded by planMu
+	penaltySum  float64                     // guarded by planMu
+	lastPenalty float64                     // guarded by planMu
+	maxPenalty  float64                     // guarded by planMu
 
 	// Auto-batching front end: one lazily created Batcher per registered
 	// plan (keyed by plan pointer, so re-registering a plan retires the
 	// old batcher's key on its next lookup).
-	batchMu   sync.Mutex
-	batchers  map[*plan.Plan]*batching.Batcher
-	inferReqs int64
+	batchMu  sync.Mutex
+	batchers map[*plan.Plan]*batching.Batcher // guarded by batchMu
 
 	zooOnce sync.Once
 	zooInfo []ModelInfo

@@ -127,6 +127,7 @@ func NewProfiler(dev Device) *Profiler { return profile.New(dev) }
 // -1 (previously treated as unbounded by accident) are rejected with an
 // error.
 func Optimize(g *Graph, dev Device, opts Options) (*Result, error) {
+	//lint:ioslint-ignore ctxdiscipline deprecated ctx-free wrapper kept for compatibility; callers migrate to Engine.Optimize
 	return NewEngine(dev).Optimize(context.Background(), g, opts)
 }
 
@@ -168,6 +169,7 @@ func GreedySchedule(g *Graph) (*Schedule, error) { return baseline.Greedy(g) }
 // Deprecated: use NewEngine(dev).Measure(ctx, g, s), which is
 // cancellable.
 func Measure(g *Graph, s *Schedule, dev Device) (float64, error) {
+	//lint:ioslint-ignore ctxdiscipline deprecated ctx-free wrapper kept for compatibility; callers migrate to Engine.Measure
 	return NewEngine(dev).Measure(context.Background(), g, s)
 }
 
@@ -177,5 +179,6 @@ func Measure(g *Graph, s *Schedule, dev Device) (float64, error) {
 // Deprecated: use NewEngine(dev).Throughput(ctx, g, s), which is
 // cancellable.
 func Throughput(g *Graph, s *Schedule, dev Device) (float64, error) {
+	//lint:ioslint-ignore ctxdiscipline deprecated ctx-free wrapper kept for compatibility; callers migrate to Engine.Throughput
 	return NewEngine(dev).Throughput(context.Background(), g, s)
 }
