@@ -74,6 +74,8 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "cap on -auto-batch dispatch sizes (0 = each plan's largest planned batch)")
 		planDir    = flag.String("plan-dir", "", "directory of batch-specialization plan JSON files: every *.json in it is registered on start, and plans built this session (-plan-batches) are saved there on shutdown — a restart then serves planned batches without re-running any searches")
 		quietFlag  = flag.Bool("quiet", false, "suppress per-request logging")
+		clusterN   = flag.Int("cluster", 0, "run a simulated fleet of this many nodes in one process, on ports -port..-port+n-1: each node is a full server with private caches behind a consistent-hash warm-cache exchange (block schedules and measurements shard by structural fingerprint; a node missing an entry fetches the canonical one from its ring owner and rebinds it instead of re-searching); node 0 runs -warm/-plan-batches and the fleet distributes the results; cache files get a per-node \".node<i>\" suffix")
+		saveEvery  = flag.Duration("save-interval", 0, "periodically save -measure-cache, -block-cache and -plan-dir state at this interval (e.g. 5m) in addition to the save on clean shutdown, so a crash loses at most one interval of warm state (0 = shutdown-only)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -93,6 +95,59 @@ func main() {
 	opts := core.Options{Strategies: strat, Pruning: core.Pruning{R: *rFlag, S: *sFlag}, Workers: *workers}
 	if err := opts.Validate(); err != nil {
 		fatal(err)
+	}
+
+	// -cluster runs the whole fleet and exits; the rest of main is the
+	// single-node path.
+	if *clusterN > 1 {
+		cc := clusterConfig{
+			Nodes:        *clusterN,
+			Host:         *hostFlag,
+			BasePort:     *portFlag,
+			CacheSize:    *cacheFlag,
+			MeasureSize:  *mcacheSize,
+			BlockSize:    *bcacheSize,
+			MeasureFile:  *mcacheFile,
+			BlockFile:    *bcacheFile,
+			SaveInterval: *saveEvery,
+		}
+		cc.Serve = serve.Config{Device: spec, Options: opts, Deadline: *deadline}
+		if *autoBatch {
+			cc.Serve.Batching = &serve.BatchingConfig{SLO: *sloFlag, MaxBatch: *maxBatch}
+		}
+		if !*quietFlag {
+			cc.Serve.Logf = log.New(os.Stderr, "iosserve: ", log.LstdFlags).Printf
+		}
+		if *planDir != "" {
+			fatal(fmt.Errorf("-plan-dir is not supported with -cluster (nodes pull plans over the plan registry instead)"))
+		}
+		if *warmFlag != "" {
+			names, err := warmList(*warmFlag)
+			if err != nil {
+				fatal(err)
+			}
+			cc.Warm = true
+			cc.WarmNames = names
+			if cc.WarmBatches, err = intList(*warmBatch); err != nil {
+				fatal(fmt.Errorf("-warm-batch: %w", err))
+			}
+		}
+		if *planBatch != "" {
+			if *warmFlag == "" {
+				fatal(fmt.Errorf("-plan-batches needs -warm to name the models to plan (\"paper\" = the four benchmarks)"))
+			}
+			var err error
+			if cc.PlanBatches, err = intList(*planBatch); err != nil {
+				fatal(fmt.Errorf("-plan-batches: %w", err))
+			}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runCluster(ctx, cc); err != nil {
+			fatal(err)
+		}
+		log.Printf("iosserve: cluster shut down cleanly")
+		return
 	}
 	// The measurement cache persists simulator work across restarts: load
 	// it before warming (so -warm on a warm file costs near nothing) and
@@ -177,6 +232,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// /healthz reports "starting" until warm-up completes, so load
+	// balancers (and the cluster harness) only route to warmed nodes.
+	srv.SetReady(false)
 	// Plan warm-up supersedes plain warming: a registered plan shadows the
 	// schedule cache for its models at EVERY batch size, so running both
 	// would spend full searches on cache entries plan routing never reads.
@@ -224,6 +282,14 @@ func main() {
 			}
 			fail(err)
 		}
+	}
+	srv.SetReady(true)
+
+	// Periodic checkpointing: the same saveState the shutdown path runs,
+	// on a ticker, so a crash loses at most -save-interval of warm state.
+	if *saveEvery > 0 {
+		cp := &serve.Checkpointer{Interval: *saveEvery, Save: saveState}
+		go cp.Run(ctx)
 	}
 
 	addr := *hostFlag + ":" + strconv.Itoa(*portFlag)

@@ -42,6 +42,19 @@ type Cache struct {
 	coalesced atomic.Int64
 	loaded    atomic.Int64
 	evicted   atomic.Int64
+	remote    atomic.Int64
+
+	// seq is the publication counter behind Snapshot's incremental
+	// export: every completed cell is stamped with seq+1 at publication
+	// time, always under its shard mutex, so a Snapshot holding every
+	// shard mutex observes exactly the cells stamped ≤ its counter read
+	// (see Snapshot in persist.go).
+	seq atomic.Uint64
+
+	// fetch, when set, is consulted on a miss — with the claim already
+	// held, so concurrent requesters coalesce onto one remote fetch just
+	// as they would onto one search. See SetFetch.
+	fetch func(ctx context.Context, key []byte) (*Entry, bool)
 }
 
 type cacheShard struct {
@@ -55,6 +68,10 @@ type cacheShard struct {
 type cell struct {
 	done chan struct{}
 	val  *Entry
+	// seq is the publication stamp (see Cache.seq); written under the
+	// owning shard's mutex immediately before done is closed, read only
+	// by Snapshot while holding that mutex.
+	seq uint64
 	// abandoned marks a claim released without a result (the owner's
 	// search failed, was cancelled, or panicked); the cell has been
 	// removed from the shard and waiters must retry the key.
@@ -94,10 +111,19 @@ type Claim struct {
 // Commit publishes the completed entry and releases the claim. The entry
 // is shared with every current and future reader and must not be mutated
 // afterwards.
+//
+// The sequence stamp and the done close happen together under the shard
+// mutex so Snapshot (which holds every shard mutex) sees a consistent
+// cut: a cell is visible to a snapshot if and only if its stamp is ≤ the
+// snapshot's counter read. The brief shard lock cannot deadlock: nothing
+// blocks on a cell's channel while holding a shard mutex.
 func (cl *Claim) Commit(v *Entry) {
 	cl.e.val = v
-	cl.c.size.Add(1)
+	cl.sh.mu.Lock()
+	cl.e.seq = cl.c.seq.Add(1)
 	close(cl.e.done)
+	cl.sh.mu.Unlock()
+	cl.c.size.Add(1)
 }
 
 // Abandon releases the claim without publishing a result: the cell is
@@ -183,8 +209,16 @@ func (c *Cache) GetOrBegin(ctx context.Context, key []byte) (*Entry, *Claim, err
 			c.trimShardLocked(sh)
 			sh.m[ks] = e
 			sh.mu.Unlock()
+			cl := &Claim{c: c, sh: sh, key: ks, e: e}
+			if f := c.fetch; f != nil {
+				if v, ok := runFetch(ctx, cl, f, key); ok {
+					cl.Commit(v)
+					c.remote.Add(1)
+					return v, nil, nil
+				}
+			}
 			c.misses.Add(1)
-			return nil, &Claim{c: c, sh: sh, key: ks, e: e}, nil
+			return nil, cl, nil
 		}
 		sh.mu.Unlock()
 		if e.completed() {
@@ -209,6 +243,35 @@ func (c *Cache) GetOrBegin(ctx context.Context, key []byte) (*Entry, *Claim, err
 		}
 		return e.val, nil, nil
 	}
+}
+
+// SetFetch installs a remote-fetch hook consulted on every miss, while
+// the claim is already held: a hook hit is committed (and counted in
+// Stats.Remote, not Misses) exactly as if the holder had searched it, so
+// concurrent requesters coalesce onto one fetch and the hook's result is
+// shared with every waiter. A hook miss falls through to the normal
+// claim — the caller searches locally. The hook is responsible for
+// validating what it returns (peers return wire entries whose Decode
+// runs the same structural validation as Load) and must not call back
+// into the cache for the same key.
+//
+// SetFetch must be called before the cache is shared between goroutines
+// (it is a plain field write, wired once at cluster-node construction).
+func (c *Cache) SetFetch(f func(ctx context.Context, key []byte) (*Entry, bool)) { c.fetch = f }
+
+// runFetch runs the fetch hook with the claim held, abandoning the claim
+// if the hook panics so the fingerprint is not wedged for every future
+// requester while the panic propagates.
+func runFetch(ctx context.Context, cl *Claim, f func(context.Context, []byte) (*Entry, bool), key []byte) (v *Entry, ok bool) {
+	returned := false
+	defer func() {
+		if !returned {
+			cl.Abandon()
+		}
+	}()
+	v, ok = f(ctx, key)
+	returned = true
+	return v, ok
 }
 
 // Lookup returns the entry for a completed fingerprint without claiming or
@@ -237,7 +300,9 @@ func (c *Cache) insert(key string, v *Entry) bool {
 		return false
 	}
 	c.trimShardLocked(sh)
-	sh.m[key] = doneCell(v)
+	e := doneCell(v)
+	e.seq = c.seq.Add(1) // under sh.mu, like every publication stamp
+	sh.m[key] = e
 	c.size.Add(1)
 	return true
 }
@@ -264,11 +329,17 @@ type Stats struct {
 	// Evicted counts completed entries shed over capacity (0 for
 	// unbounded caches).
 	Evicted int64 `json:"evicted"`
+	// Remote counts misses satisfied by the fetch hook (SetFetch) —
+	// block schedules pulled from a peer instead of searched locally. A
+	// remote hit is neither a Hit (it was not resident) nor a Miss (no
+	// DP search ran).
+	Remote int64 `json:"remote"`
 }
 
 // Saved returns the number of block DP searches the cache avoided: every
-// hit and every coalesced wait would have been a full search.
-func (s Stats) Saved() int64 { return s.Hits + s.Coalesced }
+// hit, every coalesced wait, and every remote fetch would have been a
+// full search.
+func (s Stats) Saved() int64 { return s.Hits + s.Coalesced + s.Remote }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() Stats {
@@ -279,6 +350,7 @@ func (c *Cache) Stats() Stats {
 		Coalesced: c.coalesced.Load(),
 		Loaded:    c.loaded.Load(),
 		Evicted:   c.evicted.Load(),
+		Remote:    c.remote.Load(),
 	}
 }
 

@@ -19,13 +19,16 @@ const fileVersion = 1
 
 // cacheFile is the persisted JSON form of a cache: a version stamp plus
 // one (fingerprint, canonical schedule, search cost) record per completed
-// entry.
+// entry. The same WireEntry records travel between cluster peers, so
+// persistence and peer exchange share one serialization path.
 type cacheFile struct {
 	Version int         `json:"version"`
-	Entries []fileEntry `json:"entries"`
+	Entries []WireEntry `json:"entries"`
 }
 
-type fileEntry struct {
+// WireEntry is the wire form of one completed block schedule — the unit
+// of both the persisted cache file and cluster peer exchange.
+type WireEntry struct {
 	// Key is the canonical block fingerprint, base64 (raw URL alphabet).
 	Key string `json:"key"`
 	// Ops is the block's operator count.
@@ -34,12 +37,133 @@ type fileEntry struct {
 	States      int `json:"states"`
 	Transitions int `json:"transitions"`
 	// Stages is the canonical stage list over block-local indices.
-	Stages []fileStage `json:"stages"`
+	Stages []WireStage `json:"stages"`
 }
 
-type fileStage struct {
+// WireStage is one canonical stage of a WireEntry.
+type WireStage struct {
 	Strategy string  `json:"strategy"`
 	Groups   [][]int `json:"groups"`
+}
+
+// Decode validates a wire entry and returns its raw fingerprint and
+// canonical Entry. It rejects malformed base64, keys built by an
+// incompatible fingerprint-encoding version, unknown strategies, and
+// structurally inconsistent stage lists (Entry.validate — every block
+// operator scheduled exactly once, groups non-empty).
+func (we WireEntry) Decode() ([]byte, *Entry, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(we.Key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad key: %w", err)
+	}
+	if len(raw) == 0 || raw[0] != KeyVersion {
+		return nil, nil, fmt.Errorf("key encoding version mismatch (cache built by an incompatible version)")
+	}
+	v := &Entry{Ops: we.Ops, States: we.States, Transitions: we.Transitions}
+	for si, ws := range we.Stages {
+		strat, err := parseStrategy(ws.Strategy)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stage %d: %w", si+1, err)
+		}
+		v.Stages = append(v.Stages, Stage{Strategy: strat, Groups: ws.Groups})
+	}
+	if err := v.validate(); err != nil {
+		return nil, nil, err
+	}
+	return raw, v, nil
+}
+
+// wireEntry renders a completed entry into its wire form.
+func wireEntry(key string, v *Entry) WireEntry {
+	we := WireEntry{
+		Key:         base64.RawURLEncoding.EncodeToString([]byte(key)),
+		Ops:         v.Ops,
+		States:      v.States,
+		Transitions: v.Transitions,
+	}
+	for _, st := range v.Stages {
+		we.Stages = append(we.Stages, WireStage{Strategy: st.Strategy.String(), Groups: st.Groups})
+	}
+	return we
+}
+
+// Snapshot exports every completed entry published after the given
+// sequence point, sorted by fingerprint, plus the sequence point to pass
+// to the next incremental Snapshot. Snapshot(0) exports the whole cache
+// (the persisted-file body); a cluster pusher feeds each call's returned
+// point back in to ship only what was published since its last round.
+//
+// The cut is exact: publication stamps the sequence under the cell's
+// shard mutex, and Snapshot holds every shard mutex while it scans and
+// reads the counter, so no concurrent Commit can land inside the cut
+// unseen. Entries evicted between snapshots are simply absent — they are
+// outputs of a deterministic search and always recomputable.
+func (c *Cache) Snapshot(since uint64) ([]WireEntry, uint64) {
+	type rawEntry struct {
+		key string
+		val *Entry
+	}
+	var rows []rawEntry
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	for i := range c.shards {
+		for k, e := range c.shards[i].m {
+			if e.completed() && !e.abandoned && e.seq > since {
+				rows = append(rows, rawEntry{key: k, val: e.val})
+			}
+		}
+	}
+	next := c.seq.Load()
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	out := make([]WireEntry, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, wireEntry(r.key, r.val))
+	}
+	return out, next
+}
+
+// Export returns the wire form of the completed entries among keys, in
+// key order of the input; absent and in-flight keys are skipped. This is
+// the lookup side of peer exchange: a peer asks for specific
+// fingerprints and gets back only what this cache has finished.
+func (c *Cache) Export(keys [][]byte) []WireEntry {
+	out := make([]WireEntry, 0, len(keys))
+	for _, key := range keys {
+		if v, ok := c.Lookup(key); ok {
+			out = append(out, wireEntry(string(key), v))
+		}
+	}
+	return out
+}
+
+// Merge validates wire entries and inserts the absent ones, returning
+// how many were added (already-present fingerprints are kept, not
+// overwritten — both sides hold the result of the same deterministic
+// search). Merge is all-or-nothing: every entry is validated before a
+// single one is inserted, so a corrupt batch leaves the cache exactly as
+// it was. Added entries count toward Stats.Loaded.
+func (c *Cache) Merge(entries []WireEntry) (int, error) {
+	keys := make([]string, len(entries))
+	vals := make([]*Entry, len(entries))
+	for i, we := range entries {
+		raw, v, err := we.Decode()
+		if err != nil {
+			return 0, fmt.Errorf("blockcache: cache entry %d: %w", i, err)
+		}
+		keys[i], vals[i] = string(raw), v
+	}
+	added := 0
+	for i := range keys {
+		if c.insert(keys[i], vals[i]) {
+			added++
+		}
+	}
+	c.loaded.Add(int64(added))
+	return added, nil
 }
 
 // Save writes every completed entry as JSON. In-flight entries are skipped
@@ -47,38 +171,9 @@ type fileStage struct {
 // fingerprint, so the file is a pure function of the cache contents:
 // identical runs produce byte-identical cache files.
 func (c *Cache) Save(w io.Writer) error {
-	type rawEntry struct {
-		key string
-		fe  fileEntry
-	}
-	var entries []rawEntry
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for k, e := range sh.m {
-			if !e.completed() || e.abandoned {
-				continue
-			}
-			fe := fileEntry{
-				Ops:         e.val.Ops,
-				States:      e.val.States,
-				Transitions: e.val.Transitions,
-			}
-			for _, st := range e.val.Stages {
-				fe.Stages = append(fe.Stages, fileStage{Strategy: st.Strategy.String(), Groups: st.Groups})
-			}
-			entries = append(entries, rawEntry{key: k, fe: fe})
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
-	out := cacheFile{Version: fileVersion, Entries: make([]fileEntry, 0, len(entries))}
-	for _, re := range entries {
-		re.fe.Key = base64.RawURLEncoding.EncodeToString([]byte(re.key))
-		out.Entries = append(out.Entries, re.fe)
-	}
+	entries, _ := c.Snapshot(0)
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(cacheFile{Version: fileVersion, Entries: entries})
 }
 
 // Load merges a previously saved cache into c, returning how many entries
@@ -104,37 +199,7 @@ func (c *Cache) Load(r io.Reader) (int, error) {
 	if in.Version != fileVersion {
 		return 0, fmt.Errorf("blockcache: cache file version %d, want %d", in.Version, fileVersion)
 	}
-	keys := make([]string, len(in.Entries))
-	vals := make([]*Entry, len(in.Entries))
-	for i, fe := range in.Entries {
-		raw, err := base64.RawURLEncoding.DecodeString(fe.Key)
-		if err != nil {
-			return 0, fmt.Errorf("blockcache: cache entry %d: bad key: %w", i, err)
-		}
-		if len(raw) == 0 || raw[0] != KeyVersion {
-			return 0, fmt.Errorf("blockcache: cache entry %d: key encoding version mismatch (cache built by an incompatible version)", i)
-		}
-		v := &Entry{Ops: fe.Ops, States: fe.States, Transitions: fe.Transitions}
-		for si, fs := range fe.Stages {
-			strat, err := parseStrategy(fs.Strategy)
-			if err != nil {
-				return 0, fmt.Errorf("blockcache: cache entry %d: stage %d: %w", i, si+1, err)
-			}
-			v.Stages = append(v.Stages, Stage{Strategy: strat, Groups: fs.Groups})
-		}
-		if err := v.validate(); err != nil {
-			return 0, fmt.Errorf("blockcache: cache entry %d: %w", i, err)
-		}
-		keys[i], vals[i] = string(raw), v
-	}
-	added := 0
-	for i := range keys {
-		if c.insert(keys[i], vals[i]) {
-			added++
-		}
-	}
-	c.loaded.Add(int64(added))
-	return added, nil
+	return c.Merge(in.Entries)
 }
 
 // parseStrategy maps a persisted strategy name back to its value,
@@ -150,7 +215,10 @@ func parseStrategy(name string) (schedule.Strategy, error) {
 }
 
 // SaveFile writes the cache to path (via a temp file + rename, so a crash
-// mid-save never truncates a previously good cache file).
+// mid-save never truncates a previously good cache file). Safe to call
+// while fills are in flight: Snapshot cuts a consistent set of completed
+// entries, so the file is loadable all-or-nothing regardless of what was
+// mid-search during the save.
 func (c *Cache) SaveFile(path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".block-cache-*")
 	if err != nil {

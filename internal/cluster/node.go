@@ -1,0 +1,700 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ios/internal/blockcache"
+	"ios/internal/measure"
+	"ios/internal/plan"
+	"ios/internal/serve"
+)
+
+// Member identifies one cluster node: a stable ID (the ring hashes it)
+// and the base URL peers reach it at.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Config wires one node into a cluster.
+type Config struct {
+	// Self is this node's Member.ID; it must appear in Members.
+	Self string
+	// Members is the full membership list, including Self. Every node
+	// must use the same list (ring ownership is a pure function of it);
+	// SetMembers updates it live.
+	Members []Member
+	// Server is the serving tier this node fronts. The node shards and
+	// exchanges the server's own block and measurement caches, so each
+	// cluster node must be built over private caches (serve.Config's
+	// MeasureCache/BlockCache), not the process-wide shared defaults.
+	Server *serve.Server
+	// Client issues peer requests (nil = http.DefaultClient). The
+	// harness injects per-link latency here.
+	Client *http.Client
+	// Replicas is the ring's virtual-node count per member (<=0 =
+	// DefaultReplicas).
+	Replicas int
+	// FetchTimeout bounds one peer fetch attempt (<=0 = 500ms).
+	FetchTimeout time.Duration
+	// Retries is the number of extra attempts after a failed fetch to
+	// the same peer (<0 = 0; default 1). 404 is a definitive miss and
+	// is never retried.
+	Retries int
+	// FailureCooldown is how long a peer that failed a request is
+	// skipped before being probed again (<=0 = 1s). It bounds the cost
+	// of a dead node: a few timed-out attempts per cooldown, with every
+	// miss in between falling back to local search instantly.
+	FailureCooldown time.Duration
+	// PushInterval is Run's period between incremental pushes of
+	// locally computed entries to their owners (<=0 = 500ms).
+	PushInterval time.Duration
+	// PushTicks, when non-nil, replaces Run's wall-clock ticker — the
+	// injectable clock for tests.
+	PushTicks <-chan time.Time
+	// Logf receives diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// measureTripAfter is the consecutive-miss threshold of the measurement
+// fetch breaker. Remote measurement lookups only pay off when the fleet
+// is warm (a hit replaces a local simulation; a miss is pure added
+// latency on the DP hot path, which issues tens of thousands of lookups
+// per cold search). After this many consecutive misses the node stops
+// fetching measurements for FailureCooldown and simulates locally; any
+// hit re-arms the breaker.
+const measureTripAfter = 64
+
+// fetchFanout is how many ring-ordered candidates a fetch tries: the
+// owner plus two successors. The first successor is exactly the key's
+// previous owner after a membership change, so a joining node (which owns
+// part of the keyspace itself) still finds every warm entry; the rest
+// cover an owner that is down.
+const fetchFanout = 3
+
+// Node is one cluster member: an http.Handler that serves the peer
+// exchange endpoints in front of a serve.Server, wires the server's
+// caches to fetch missing entries from their ring owners, and pushes
+// locally computed entries out. Create with New; all methods are safe for
+// concurrent use.
+//
+// Endpoints (everything else falls through to the serve.Server):
+//
+//	GET  /cache/block/<fp>    one block entry, fp base64 raw-URL (404 if absent)
+//	POST /cache/block/fetch   {"keys":[fp...]} -> {"entries":[...]}
+//	GET  /cache/measure/<fp>  one measurement entry (404 if absent)
+//	POST /cache/measure/fetch {"keys":[fp...]} -> {"entries":[...]}
+//	POST /cluster/push        {"block":[...],"measure":[...]} -> counts merged
+//	GET  /cluster/stats       exchange counters (Stats)
+type Node struct {
+	cfg     Config
+	server  *serve.Server
+	blocks  *blockcache.Cache
+	measure *measure.Cache
+	client  *http.Client
+	mux     *http.ServeMux
+	baseCtx context.Context
+
+	// now is the clock behind peer-down cooldowns and the measurement
+	// breaker; tests substitute a fake.
+	now func() time.Time
+
+	mu   sync.Mutex
+	ring *Ring             // guarded by mu
+	urls map[string]string // guarded by mu
+	// down maps a peer ID to the time its failure cooldown ends.
+	down map[string]time.Time // guarded by mu
+	// measureMissRun counts consecutive remote measurement misses;
+	// measureDownUntil is set when it trips (see measureTripAfter).
+	measureMissRun   int       // guarded by mu
+	measureDownUntil time.Time // guarded by mu
+
+	// pushMu serializes Sync so the incremental snapshot cursors move
+	// atomically with the pushes they cover.
+	pushMu      sync.Mutex
+	lastBlock   uint64 // guarded by pushMu
+	lastMeasure uint64 // guarded by pushMu
+
+	blockFetchHits     atomic.Int64
+	blockFetchMisses   atomic.Int64
+	blockFetchErrors   atomic.Int64
+	measureFetchHits   atomic.Int64
+	measureFetchMisses atomic.Int64
+	measureFetchErrors atomic.Int64
+	pushedBlocks       atomic.Int64
+	pushedMeasurements atomic.Int64
+	mergedBlocks       atomic.Int64
+	mergedMeasurements atomic.Int64
+	plansPulled        atomic.Int64
+	peersMarkedDown    atomic.Int64
+}
+
+// Stats is a snapshot of one node's exchange counters (GET /cluster/stats).
+type Stats struct {
+	// BlockFetchHits count local block-cache misses satisfied by a peer
+	// — each one is a block DP search the fleet did not repeat.
+	BlockFetchHits int64 `json:"block_fetch_hits"`
+	// BlockFetchMisses count fetches no candidate peer could satisfy
+	// (the structure is new fleet-wide); the node searched locally.
+	BlockFetchMisses int64 `json:"block_fetch_misses"`
+	// BlockFetchErrors count fetch attempts that failed to transport
+	// (peer down or timed out) — bounded by the failure cooldown.
+	BlockFetchErrors   int64 `json:"block_fetch_errors"`
+	MeasureFetchHits   int64 `json:"measure_fetch_hits"`
+	MeasureFetchMisses int64 `json:"measure_fetch_misses"`
+	MeasureFetchErrors int64 `json:"measure_fetch_errors"`
+	// PushedBlocks/PushedMeasurements count entries shipped to their
+	// owners by Sync; MergedBlocks/MergedMeasurements count entries
+	// accepted from peers' pushes.
+	PushedBlocks       int64 `json:"pushed_blocks"`
+	PushedMeasurements int64 `json:"pushed_measurements"`
+	MergedBlocks       int64 `json:"merged_blocks"`
+	MergedMeasurements int64 `json:"merged_measurements"`
+	// PlansPulled counts batch plans fetched from peers' registries.
+	PlansPulled int64 `json:"plans_pulled"`
+	// PeersMarkedDown counts failure-cooldown activations.
+	PeersMarkedDown int64 `json:"peers_marked_down"`
+}
+
+// New wires a node: it installs fetch hooks on the server's block and
+// measurement caches (so this server's caches must be private to it) and
+// registers the exchange endpoints. ctx is the node's lifetime — it
+// bounds peer fetches issued from inside the DP hot path, which carries
+// no request context of its own.
+func New(ctx context.Context, cfg Config) (*Node, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: Config.Server is required")
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 500 * time.Millisecond
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.FailureCooldown <= 0 {
+		cfg.FailureCooldown = time.Second
+	}
+	if cfg.PushInterval <= 0 {
+		cfg.PushInterval = 500 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	n := &Node{
+		cfg:     cfg,
+		server:  cfg.Server,
+		blocks:  cfg.Server.BlockCache(),
+		measure: cfg.Server.MeasureCache(),
+		client:  client,
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		//lint:ioslint-ignore determinism peer-down cooldowns are wall-clock by design; tests substitute a fake by assigning n.now
+		now:  time.Now,
+		down: make(map[string]time.Time),
+	}
+	if err := n.SetMembers(cfg.Members); err != nil {
+		return nil, err
+	}
+	n.blocks.SetFetch(n.fetchBlock)
+	n.measure.SetFetch(n.fetchMeasure)
+	n.mux.HandleFunc("/cache/block/fetch", n.handleBlockFetch)
+	n.mux.HandleFunc("/cache/block/", n.handleBlockGet)
+	n.mux.HandleFunc("/cache/measure/fetch", n.handleMeasureFetch)
+	n.mux.HandleFunc("/cache/measure/", n.handleMeasureGet)
+	n.mux.HandleFunc("/cluster/push", n.handlePush)
+	n.mux.HandleFunc("/cluster/stats", n.handleStats)
+	n.mux.Handle("/", cfg.Server)
+	return n, nil
+}
+
+// ServeHTTP serves the exchange endpoints and falls through to the
+// underlying serve.Server for everything else.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.mux.ServeHTTP(w, r) }
+
+// Server returns the serve.Server this node fronts.
+func (n *Node) Server() *serve.Server { return n.server }
+
+// SetMembers replaces the membership list (Self must be present). Every
+// node must converge on the same list; keys whose owner changed are
+// re-fetched from their old owner on first miss (the old owner is the new
+// owner's ring successor), so membership changes never invalidate warm
+// state.
+func (n *Node) SetMembers(members []Member) error {
+	ids := make([]string, 0, len(members))
+	urls := make(map[string]string, len(members))
+	self := false
+	for _, m := range members {
+		ids = append(ids, m.ID)
+		urls[m.ID] = strings.TrimSuffix(m.URL, "/")
+		if m.ID == n.cfg.Self {
+			self = true
+		}
+	}
+	if !self {
+		return fmt.Errorf("cluster: Self %q not in members", n.cfg.Self)
+	}
+	ring, err := NewRing(ids, n.cfg.Replicas)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.ring, n.urls = ring, urls
+	n.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the exchange counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		BlockFetchHits:     n.blockFetchHits.Load(),
+		BlockFetchMisses:   n.blockFetchMisses.Load(),
+		BlockFetchErrors:   n.blockFetchErrors.Load(),
+		MeasureFetchHits:   n.measureFetchHits.Load(),
+		MeasureFetchMisses: n.measureFetchMisses.Load(),
+		MeasureFetchErrors: n.measureFetchErrors.Load(),
+		PushedBlocks:       n.pushedBlocks.Load(),
+		PushedMeasurements: n.pushedMeasurements.Load(),
+		MergedBlocks:       n.mergedBlocks.Load(),
+		MergedMeasurements: n.mergedMeasurements.Load(),
+		PlansPulled:        n.plansPulled.Load(),
+		PeersMarkedDown:    n.peersMarkedDown.Load(),
+	}
+}
+
+// candidates returns the fetch targets for a key: up to fetchFanout ring
+// owners in order, minus self and minus peers inside a failure cooldown.
+func (n *Node) candidates(key []byte) []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := n.ring.Owners(key, fetchFanout)
+	now := n.now()
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		if id == n.cfg.Self || now.Before(n.down[id]) {
+			continue
+		}
+		out = append(out, Member{ID: id, URL: n.urls[id]})
+	}
+	return out
+}
+
+// markDown starts a peer's failure cooldown.
+func (n *Node) markDown(id string) {
+	n.mu.Lock()
+	n.down[id] = n.now().Add(n.cfg.FailureCooldown)
+	n.mu.Unlock()
+	n.peersMarkedDown.Add(1)
+	n.logf("cluster %s: peer %s marked down for %s", n.cfg.Self, id, n.cfg.FailureCooldown)
+}
+
+// fetch hooks ----------------------------------------------------------
+
+// fetchBlock is the block cache's SetFetch hook: ask the key's ring
+// owners for the canonical entry before paying a local DP search. Any
+// returned entry passed WireEntry.Decode's structural validation — the
+// same bar a persisted cache file meets — and is then rebound to the
+// actual block by the existing blockcache.Rebind path at the call site.
+func (n *Node) fetchBlock(ctx context.Context, key []byte) (*blockcache.Entry, bool) {
+	wes, ok := n.fetchEntry(ctx, "block", key, &n.blockFetchErrors)
+	if !ok || len(wes) == 0 {
+		n.blockFetchMisses.Add(1)
+		return nil, false
+	}
+	var we blockcache.WireEntry
+	if err := json.Unmarshal(wes[0], &we); err != nil {
+		n.logf("cluster %s: peer returned bad block entry: %v", n.cfg.Self, err)
+		n.blockFetchMisses.Add(1)
+		return nil, false
+	}
+	raw, v, err := we.Decode()
+	if err != nil || !bytes.Equal(raw, key) {
+		n.logf("cluster %s: peer returned bad block entry: %v", n.cfg.Self, err)
+		n.blockFetchMisses.Add(1)
+		return nil, false
+	}
+	n.blockFetchHits.Add(1)
+	return v, true
+}
+
+// fetchMeasure is the measurement cache's SetFetch hook. The DP engine
+// issues tens of thousands of these per cold search and a local
+// simulation costs microseconds, so remote lookup only pays off against
+// a warm fleet: a consecutive-miss breaker (measureTripAfter) shuts the
+// path off during cold search storms and re-probes after the cooldown.
+// The hook runs on the DP hot path, which carries no context — fetches
+// are bounded by the node's lifetime context plus the fetch timeout.
+func (n *Node) fetchMeasure(key []byte) (float64, bool) {
+	if !n.measureFetchArmed() {
+		return 0, false
+	}
+	wes, ok := n.fetchEntry(n.baseCtx, "measure", key, &n.measureFetchErrors)
+	if !ok || len(wes) == 0 {
+		n.measureFetchMisses.Add(1)
+		n.noteMeasureMiss()
+		return 0, false
+	}
+	var we measure.WireEntry
+	if err := json.Unmarshal(wes[0], &we); err != nil {
+		n.logf("cluster %s: peer returned bad measurement entry: %v", n.cfg.Self, err)
+		n.measureFetchMisses.Add(1)
+		n.noteMeasureMiss()
+		return 0, false
+	}
+	raw, lat, err := we.Decode()
+	if err != nil || !bytes.Equal(raw, key) {
+		n.logf("cluster %s: peer returned bad measurement entry: %v", n.cfg.Self, err)
+		n.measureFetchMisses.Add(1)
+		n.noteMeasureMiss()
+		return 0, false
+	}
+	n.measureFetchHits.Add(1)
+	n.noteMeasureHit()
+	return lat, true
+}
+
+// measureFetchArmed reports whether the measurement breaker allows a
+// remote lookup right now.
+func (n *Node) measureFetchArmed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.measureMissRun < measureTripAfter {
+		return true
+	}
+	if n.now().Before(n.measureDownUntil) {
+		return false
+	}
+	// Cooldown over: allow one probing run.
+	n.measureMissRun = 0
+	return true
+}
+
+func (n *Node) noteMeasureMiss() {
+	n.mu.Lock()
+	n.measureMissRun++
+	if n.measureMissRun == measureTripAfter {
+		n.measureDownUntil = n.now().Add(n.cfg.FailureCooldown)
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) noteMeasureHit() {
+	n.mu.Lock()
+	n.measureMissRun = 0
+	n.mu.Unlock()
+}
+
+// fetchEntry asks each candidate peer for one entry of the given kind
+// ("block" or "measure"), bounded by FetchTimeout per attempt and
+// Retries extra attempts per peer for transport failures; a 404 is a
+// definitive per-peer miss and moves straight to the next candidate. A
+// peer that fails transport is marked down for the failure cooldown.
+// Returns (entries, true) on a 200, (nil, false) when every candidate
+// missed or failed — the caller computes locally, never errors.
+func (n *Node) fetchEntry(ctx context.Context, kind string, key []byte, errCounter *atomic.Int64) ([]json.RawMessage, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	fp := base64.RawURLEncoding.EncodeToString(key)
+	for _, peer := range n.candidates(key) {
+		for attempt := 0; attempt <= n.cfg.Retries; attempt++ {
+			entries, status, err := n.getEntries(ctx, peer.URL+"/cache/"+kind+"/"+fp)
+			if err != nil {
+				errCounter.Add(1)
+				if ctx.Err() != nil {
+					return nil, false
+				}
+				if attempt == n.cfg.Retries {
+					n.markDown(peer.ID)
+				}
+				continue
+			}
+			if status == http.StatusNotFound {
+				break // definitive miss on this peer; ask the next owner
+			}
+			if status != http.StatusOK || len(entries) == 0 {
+				errCounter.Add(1)
+				break
+			}
+			return entries, true
+		}
+	}
+	return nil, false
+}
+
+// getEntries performs one GET of a wire-entry response. The entries come
+// back raw so block and measurement fetches share this transport path
+// and decode (with validation) at their call sites.
+func (n *Node) getEntries(ctx context.Context, rawurl string) ([]json.RawMessage, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawurl, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, nil
+	}
+	var body struct {
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, 0, err
+	}
+	return body.Entries, resp.StatusCode, nil
+}
+
+// push path ------------------------------------------------------------
+
+// pushRequest is the POST /cluster/push body: wire entries for the
+// receiver to merge, in the caches' persisted-file entry format.
+type pushRequest struct {
+	Block   []blockcache.WireEntry `json:"block,omitempty"`
+	Measure []measure.WireEntry    `json:"measure,omitempty"`
+}
+
+// pushResponse reports how many pushed entries were new to the receiver.
+type pushResponse struct {
+	BlockAdded   int `json:"block_added"`
+	MeasureAdded int `json:"measure_added"`
+}
+
+// Sync pushes every cache entry published since the last successful Sync
+// to its ring owner (batched per owner), returning how many entries were
+// shipped. Peers inside a failure cooldown are skipped and the cursors
+// are not advanced past a failed round, so missed entries are re-pushed
+// next time — Merge on the receiver deduplicates. Run calls this on a
+// ticker; the harness calls it synchronously to hand a warm keyspace to
+// its owners before a join.
+func (n *Node) Sync(ctx context.Context) (int, error) {
+	n.pushMu.Lock()
+	defer n.pushMu.Unlock()
+	bents, bnext := n.blocks.Snapshot(n.lastBlock)
+	ments, mnext := n.measure.Snapshot(n.lastMeasure)
+	if len(bents) == 0 && len(ments) == 0 {
+		n.lastBlock, n.lastMeasure = bnext, mnext
+		return 0, nil
+	}
+	per := make(map[string]*pushRequest)
+	var owners []string
+	n.mu.Lock()
+	ring := n.ring
+	urls := n.urls
+	n.mu.Unlock()
+	add := func(owner string) *pushRequest {
+		req := per[owner]
+		if req == nil {
+			req = &pushRequest{}
+			per[owner] = req
+			owners = append(owners, owner)
+		}
+		return req
+	}
+	for _, we := range bents {
+		raw, err := base64.RawURLEncoding.DecodeString(we.Key)
+		if err != nil {
+			continue // cannot happen for our own snapshot
+		}
+		if owner := ring.Owner(raw); owner != n.cfg.Self {
+			r := add(owner)
+			r.Block = append(r.Block, we)
+		}
+	}
+	for _, we := range ments {
+		raw, err := base64.RawURLEncoding.DecodeString(we.Key)
+		if err != nil {
+			continue
+		}
+		if owner := ring.Owner(raw); owner != n.cfg.Self {
+			r := add(owner)
+			r.Measure = append(r.Measure, we)
+		}
+	}
+	sort.Strings(owners)
+	pushed := 0
+	var firstErr error
+	for _, id := range owners {
+		if n.peerDown(id) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: peer %s down", id)
+			}
+			continue
+		}
+		req := per[id]
+		if err := n.postPush(ctx, urls[id], req); err != nil {
+			n.markDown(id)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		pushed += len(req.Block) + len(req.Measure)
+		n.pushedBlocks.Add(int64(len(req.Block)))
+		n.pushedMeasurements.Add(int64(len(req.Measure)))
+	}
+	if firstErr == nil {
+		n.lastBlock, n.lastMeasure = bnext, mnext
+	}
+	return pushed, firstErr
+}
+
+// peerDown reports whether a peer is inside its failure cooldown.
+func (n *Node) peerDown(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now().Before(n.down[id])
+}
+
+// postPush ships one owner's batch.
+func (n *Node) postPush(ctx context.Context, baseURL string, preq *pushRequest) error {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 4*n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/cluster/push", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: push to %s: HTTP %d", baseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// Run pushes incrementally on a ticker until ctx ends. Fetches already
+// work without it (pulls find entries at their owners or fall back), but
+// the pusher is what converges owners on the canonical copy of their key
+// range so later fetches hit on the first candidate.
+func (n *Node) Run(ctx context.Context) {
+	ticks := n.cfg.PushTicks
+	if ticks == nil {
+		//lint:ioslint-ignore determinism the background push cadence is wall-clock by design; tests inject PushTicks
+		t := time.NewTicker(n.cfg.PushInterval)
+		defer t.Stop()
+		ticks = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticks:
+			if _, err := n.Sync(ctx); err != nil && ctx.Err() == nil {
+				n.logf("cluster %s: push: %v", n.cfg.Self, err)
+			}
+		}
+	}
+}
+
+// PullPlans fetches every batch plan registered on any peer and registers
+// the ones this node lacks, returning how many were added. This is the
+// client side of the plan registry (GET /plans/<model>/<device>/<opts>):
+// a joining node pulls the fleet's specialized plans instead of paying
+// the per-batch searches and n² cross-measurements to rebuild them.
+func (n *Node) PullPlans(ctx context.Context) (int, error) {
+	n.mu.Lock()
+	members := n.ring.Members()
+	urls := make(map[string]string, len(members))
+	for _, id := range members {
+		urls[id] = n.urls[id]
+	}
+	n.mu.Unlock()
+	added := 0
+	var firstErr error
+	for _, id := range members {
+		if id == n.cfg.Self || n.peerDown(id) {
+			continue
+		}
+		got, err := n.pullPlansFrom(ctx, urls[id])
+		added += got
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	n.plansPulled.Add(int64(added))
+	return added, firstErr
+}
+
+func (n *Node) pullPlansFrom(ctx context.Context, baseURL string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, 4*n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/plans", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var infos []serve.PlanInfo
+	err = json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	for _, info := range infos {
+		if n.server.LookupPlan(info.Model, info.Device, info.Options) != nil {
+			continue
+		}
+		p, err := n.pullPlan(ctx, baseURL, info)
+		if err != nil {
+			return added, err
+		}
+		if err := n.server.RegisterPlan(p); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+func (n *Node) pullPlan(ctx context.Context, baseURL string, info serve.PlanInfo) (*plan.Plan, error) {
+	u := baseURL + "/plans/" + url.PathEscape(info.Model) + "/" + url.PathEscape(info.Device) + "/" + url.PathEscape(info.Options)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: pull plan %s/%s/%s: HTTP %d", info.Model, info.Device, info.Options, resp.StatusCode)
+	}
+	return plan.Load(resp.Body)
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,291 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ios/internal/cluster"
+	"ios/internal/report"
+	"ios/internal/serve"
+)
+
+// This file is the sharded-serving study (experiment "cluster"): a
+// single-process simulated fleet (internal/cluster's harness, real HTTP
+// over loopback with injected per-link latency) measuring what the
+// consistent-hash warm-cache exchange buys. Four claims are checked:
+// a node joining a warm fleet converges with zero local block DP
+// searches (every block schedule arrives from a peer and is rebound);
+// the peer-fetched schedules are bit-identical to what a local search
+// would have produced; warm aggregate throughput scales with node count
+// because requests are latency-bound, not search-bound; and killing a
+// node degrades to local searches without a single client-visible error.
+
+// clusterLinkDelay is the injected per-link latency. Large enough that
+// warm requests are latency-bound (so throughput scales with nodes
+// instead of saturating one CPU), small enough that the cold-join fetch
+// storm stays cheap.
+const clusterLinkDelay = 10 * time.Millisecond
+
+// clusterClientsPerNode and clusterRequestsPerClient size the closed-loop
+// throughput phases.
+const (
+	clusterClientsPerNode    = 2
+	clusterRequestsPerClient = 25
+)
+
+// ClusterRow is the record of one fleet scenario.
+type ClusterRow struct {
+	// Network is the served model (zoo name); Nodes the fleet size the
+	// scenario grows to.
+	Network string `json:"network"`
+	Nodes   int    `json:"nodes"`
+	// LinkDelayMS is the injected per-link latency.
+	LinkDelayMS float64 `json:"link_delay_ms"`
+	// SeedSearches counts the block DP searches the first node ran to
+	// serve the model cold; SeedColdMS is that request's wall time.
+	SeedSearches int64   `json:"seed_searches"`
+	SeedColdMS   float64 `json:"seed_cold_ms"`
+	// JoinColdMS is the first-request wall time of a node joining the
+	// warm fleet; JoinSearches its local block DP searches (the headline:
+	// zero — every block arrived over the exchange, see JoinFetched);
+	// CrossNodeHitRate is its peer-fetch hit rate.
+	JoinColdMS       float64 `json:"join_cold_ms"`
+	JoinSearches     int64   `json:"join_searches"`
+	JoinFetched      int64   `json:"join_fetched"`
+	CrossNodeHitRate float64 `json:"cross_node_hit_rate"`
+	// Identical asserts the joining node's peer-fetched, rebound schedule
+	// is byte-for-byte the seed node's locally searched one.
+	Identical bool `json:"identical"`
+	// FleetSearches sums block DP searches across the coordinated fleet
+	// after every node has served the model; UncoordSearches is the
+	// uncoordinated total — Nodes x SeedSearches, exact because the
+	// search is deterministic, so every isolated node repeats the seed's
+	// work verbatim (TestUncoordinatedBaseline checks this).
+	FleetSearches   int64 `json:"fleet_searches"`
+	UncoordSearches int64 `json:"uncoord_searches"`
+	// QPS1 and QPSN are warm closed-loop aggregate throughputs of a
+	// 1-node and the N-node fleet under the same per-node client count
+	// and link latency; Scale is their ratio.
+	QPS1  float64 `json:"qps_1node"`
+	QPSN  float64 `json:"qps_nnodes"`
+	Scale float64 `json:"scale"`
+	// KilledOK reports that after abruptly killing one node, a request
+	// for a structure nobody had (forcing fetch attempts against the
+	// dead peer) and warm requests on every survivor all returned
+	// HTTP 200; KilledSearches counts the local block searches the
+	// fallback paid.
+	KilledOK       bool  `json:"killed_ok"`
+	KilledSearches int64 `json:"killed_searches"`
+}
+
+// clusterNet picks the served model: the paper's hardest benchmark, or
+// its Inception E stand-in block in Quick mode.
+func clusterNet(c Config) (zooName, label string) {
+	if c.Quick {
+		return "inception-e", "Inception E block"
+	}
+	return "nasnet", "NasNet-A"
+}
+
+// clusterOptimize drives one POST /optimize through the harness client.
+func clusterOptimize(client *http.Client, baseURL, model string, batch int) (serve.OptimizeResponse, error) {
+	var out serve.OptimizeResponse
+	body, err := json.Marshal(serve.OptimizeRequest{Model: model, Batch: batch})
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Post(baseURL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("optimize %s: HTTP %d", model, resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// clusterQPS measures warm aggregate throughput: clusterClientsPerNode
+// closed-loop clients pinned to each listed node, each issuing
+// clusterRequestsPerClient requests back to back. With the injected link
+// latency dominating warm service time the run is latency-bound, so the
+// aggregate scales with node count until CPU saturates.
+func clusterQPS(h *cluster.Harness, idx []int, model string, batch int) (float64, error) {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(idx)*clusterClientsPerNode)
+	start := time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	for _, i := range idx {
+		url := h.Nodes()[i].URL
+		for cl := 0; cl < clusterClientsPerNode; cl++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < clusterRequestsPerClient; r++ {
+					if _, err := clusterOptimize(h.Client(), url, model, batch); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start) //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	close(errc)
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	total := len(idx) * clusterClientsPerNode * clusterRequestsPerClient
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// ClusterRows runs the sharded-serving scenario: seed a 2-node fleet
+// cold, push entries to their ring owners, join a third node and verify
+// it converges purely over the exchange, compare warm aggregate
+// throughput against a 1-node fleet, then kill a node and verify
+// serving degrades to local searches with zero client-visible errors.
+func ClusterRows(c Config) ([]ClusterRow, error) {
+	c = c.withDefaults()
+	model, label := clusterNet(c)
+	const nodes = 3
+	//lint:ioslint-ignore ctxdiscipline experiment runners own their lifecycle; the Runner API is ctx-free by design
+	ctx := context.Background()
+
+	hcfg := cluster.HarnessConfig{
+		Nodes:     nodes - 1,
+		Device:    c.Device,
+		Options:   c.Opts,
+		LinkDelay: clusterLinkDelay,
+	}
+	h, err := cluster.StartHarness(ctx, hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("expt: cluster harness: %w", err)
+	}
+	defer h.Close()
+
+	row := ClusterRow{
+		Network:     label,
+		Nodes:       nodes,
+		LinkDelayMS: float64(clusterLinkDelay) / float64(time.Millisecond),
+	}
+
+	// Phase 1: cold start on the seed node — the one block search pass
+	// the whole fleet will ever pay for this model.
+	seed := h.Nodes()[0]
+	start := time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	seedResp, err := clusterOptimize(h.Client(), seed.URL, model, c.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("expt: cluster seed request: %w", err)
+	}
+	row.SeedColdMS = float64(time.Since(start)) / float64(time.Millisecond) //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	row.SeedSearches = seed.Server.BlockCache().Stats().Misses
+	if row.SeedSearches == 0 {
+		return nil, fmt.Errorf("expt: cluster seed ran no block searches; scenario is vacuous")
+	}
+
+	// Phase 2: push every computed entry to its ring owner, then join a
+	// cold node and serve the same model from it. Zero local searches:
+	// each block fingerprint's owner (or the owner's ring successor)
+	// already holds the canonical entry, and the fetch path rebinds it.
+	if _, err := h.SyncAll(ctx); err != nil {
+		return nil, fmt.Errorf("expt: cluster sync: %w", err)
+	}
+	joined, err := h.Join(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("expt: cluster join: %w", err)
+	}
+	start = time.Now() //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	joinResp, err := clusterOptimize(h.Client(), joined.URL, model, c.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("expt: cluster join request: %w", err)
+	}
+	row.JoinColdMS = float64(time.Since(start)) / float64(time.Millisecond) //lint:ioslint-ignore determinism wall-clock benchmark column; never feeds schedules or cache keys
+	bs := joined.Server.BlockCache().Stats()
+	row.JoinSearches = bs.Misses
+	row.JoinFetched = bs.Remote
+	ns := joined.Node.Stats()
+	if tot := ns.BlockFetchHits + ns.BlockFetchMisses; tot > 0 {
+		row.CrossNodeHitRate = float64(ns.BlockFetchHits) / float64(tot)
+	}
+	row.Identical = bytes.Equal(seedResp.Schedule, joinResp.Schedule) &&
+		seedResp.LatencyMS == joinResp.LatencyMS
+
+	// Warm the remaining node the same way, then total the coordinated
+	// fleet's search work against the uncoordinated bound.
+	if _, err := clusterOptimize(h.Client(), h.Nodes()[1].URL, model, c.Batch); err != nil {
+		return nil, fmt.Errorf("expt: cluster warm node1: %w", err)
+	}
+	for _, hn := range h.Nodes() {
+		row.FleetSearches += hn.Server.BlockCache().Stats().Misses
+	}
+	row.UncoordSearches = int64(nodes) * row.SeedSearches
+
+	// Phase 3: warm aggregate throughput, 1 node vs the fleet, same
+	// per-node offered load.
+	h1, err := cluster.StartHarness(ctx, cluster.HarnessConfig{
+		Nodes:     1,
+		Device:    c.Device,
+		Options:   c.Opts,
+		LinkDelay: clusterLinkDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expt: cluster 1-node harness: %w", err)
+	}
+	defer h1.Close()
+	if _, err := clusterOptimize(h1.Client(), h1.Nodes()[0].URL, model, c.Batch); err != nil {
+		return nil, fmt.Errorf("expt: cluster warm 1-node: %w", err)
+	}
+	if row.QPS1, err = clusterQPS(h1, []int{0}, model, c.Batch); err != nil {
+		return nil, fmt.Errorf("expt: cluster 1-node qps: %w", err)
+	}
+	if row.QPSN, err = clusterQPS(h, h.Live(), model, c.Batch); err != nil {
+		return nil, fmt.Errorf("expt: cluster %d-node qps: %w", nodes, err)
+	}
+	row.Scale = row.QPSN / row.QPS1
+
+	// Phase 4: kill a node. A batch nobody served forces fresh
+	// fingerprints — fetch attempts hit the dead peer, retry, mark it
+	// down, and fall back to local search; warm traffic on the survivors
+	// must keep flowing. Any non-200 anywhere fails the scenario.
+	h.Kill(1)
+	before := seed.Server.BlockCache().Stats().Misses
+	row.KilledOK = true
+	if _, err := clusterOptimize(h.Client(), seed.URL, model, c.Batch+1); err != nil {
+		row.KilledOK = false
+	}
+	row.KilledSearches = seed.Server.BlockCache().Stats().Misses - before
+	for _, i := range h.Live() {
+		if _, err := clusterOptimize(h.Client(), h.Nodes()[i].URL, model, c.Batch); err != nil {
+			row.KilledOK = false
+		}
+	}
+	return []ClusterRow{row}, nil
+}
+
+// Cluster renders the ClusterRows scenario (experiment id "cluster").
+func Cluster(c Config, w io.Writer) error {
+	rows, err := ClusterRows(c)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t := report.NewTable(
+			fmt.Sprintf("Sharded serving: %s on a %d-node fleet, %.0fms links", r.Network, r.Nodes, r.LinkDelayMS),
+			"phase", "searches", "fetched", "wall ms", "note")
+		t.AddRow("seed cold", r.SeedSearches, 0, r.SeedColdMS, "pays the fleet's only search pass")
+		t.AddRow("node joins warm", r.JoinSearches, r.JoinFetched, r.JoinColdMS,
+			fmt.Sprintf("hit rate %.0f%%, bit-identical: %v", 100*r.CrossNodeHitRate, r.Identical))
+		t.AddRow("fleet total", r.FleetSearches, 0, 0.0,
+			fmt.Sprintf("vs %d uncoordinated", r.UncoordSearches))
+		t.Render(w)
+		fmt.Fprintf(w, "(warm aggregate qps: %.0f at 1 node -> %.0f at %d nodes, %.2fx; one node killed: served OK %v with %d local searches)\n\n",
+			r.QPS1, r.QPSN, r.Nodes, r.Scale, r.KilledOK, r.KilledSearches)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterExperiment(t *testing.T) {
+	rows, err := ClusterRows(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.JoinSearches != 0 {
+		t.Errorf("joining node ran %d block searches, want 0", r.JoinSearches)
+	}
+	if !r.Identical {
+		t.Error("peer-fetched schedule not bit-identical to the seed's")
+	}
+	if !r.KilledOK {
+		t.Error("requests failed after killing a node")
+	}
+	if r.FleetSearches >= r.UncoordSearches {
+		t.Errorf("coordinated fleet searched %d times, uncoordinated bound %d", r.FleetSearches, r.UncoordSearches)
+	}
+	out := runExpt(t, "cluster", quickCfg())
+	for _, want := range []string{"Sharded serving", "node joins warm", "bit-identical", "qps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster report missing %q", want)
+		}
+	}
+}

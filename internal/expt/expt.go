@@ -136,6 +136,7 @@ var All = map[string]Runner{
 	"block-cache":   BlockCache,
 	"specialize":    Specialize,
 	"traffic":       Traffic,
+	"cluster":       Cluster,
 }
 
 // Names returns the experiment ids in report order: the paper's tables
@@ -143,7 +144,7 @@ var All = map[string]Runner{
 func Names() []string {
 	return append([]string{"fig1", "fig2", "table1", "table2", "fig6", "fig7", "fig8",
 		"fig9", "table3", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "resnet",
-		"search", "measure-cache", "block-cache", "specialize", "traffic"},
+		"search", "measure-cache", "block-cache", "specialize", "traffic", "cluster"},
 		ExtensionNames()...)
 }
 

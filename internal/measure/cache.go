@@ -37,6 +37,19 @@ type Cache struct {
 	coalesced atomic.Int64
 	loaded    atomic.Int64
 	evicted   atomic.Int64
+	remote    atomic.Int64
+
+	// seq is the publication counter behind Snapshot's incremental
+	// export: every completed entry is stamped with seq+1 at publication
+	// time, always under its shard mutex, so a Snapshot holding every
+	// shard mutex observes exactly the entries stamped ≤ its counter
+	// read (see Snapshot in persist.go).
+	seq atomic.Uint64
+
+	// fetch, when set, is consulted on a miss — with the claim already
+	// held, so concurrent requesters coalesce onto one remote fetch just
+	// as they would onto one measurement. See SetFetch.
+	fetch func(key []byte) (float64, bool)
 }
 
 type cacheShard struct {
@@ -55,6 +68,10 @@ type entry struct {
 	done atomic.Bool
 	mu   sync.Mutex
 	lat  float64
+	// seq is the publication stamp (see Cache.seq); written under the
+	// owning shard's mutex immediately before done is set, read only by
+	// Snapshot while holding that mutex.
+	seq uint64
 	// abandoned marks a claim released without a latency (the owner's
 	// measurement panicked); read by waiters after acquiring mu.
 	abandoned bool
@@ -72,9 +89,19 @@ type Claim struct {
 }
 
 // Commit publishes the measured latency and releases the claim.
+//
+// The sequence stamp and the done flag are set together under the shard
+// mutex so Snapshot (which holds every shard mutex) sees a consistent
+// cut: an entry is visible to a snapshot if and only if its stamp is ≤
+// the snapshot's counter read. The brief shard lock cannot deadlock:
+// claim creation locks the entry before it is visible to anyone, so no
+// goroutine ever blocks on an entry mutex while holding a shard mutex.
 func (cl *Claim) Commit(lat float64) {
 	cl.e.lat = lat
+	cl.sh.mu.Lock()
+	cl.e.seq = cl.c.seq.Add(1)
 	cl.e.done.Store(true)
+	cl.sh.mu.Unlock()
 	cl.c.size.Add(1)
 	cl.e.mu.Unlock()
 }
@@ -161,8 +188,16 @@ func (c *Cache) GetOrBegin(key []byte) (float64, *Claim) {
 			c.trimShardLocked(sh)
 			sh.m[ks] = e
 			sh.mu.Unlock()
+			cl := &Claim{c: c, sh: sh, key: ks, e: e}
+			if f := c.fetch; f != nil {
+				if lat, ok := runFetch(cl, f, key); ok {
+					cl.Commit(lat)
+					c.remote.Add(1)
+					return lat, nil
+				}
+			}
 			c.misses.Add(1)
-			return 0, &Claim{c: c, sh: sh, key: ks, e: e}
+			return 0, cl
 		}
 		sh.mu.Unlock()
 		if e.done.Load() {
@@ -185,6 +220,33 @@ func (c *Cache) GetOrBegin(key []byte) (float64, *Claim) {
 		}
 		return lat, nil
 	}
+}
+
+// SetFetch installs a remote-fetch hook consulted on every miss, while
+// the claim is already held: a hook hit is committed (and counted in
+// Stats.Remote, not Misses) exactly as if the holder had measured it, so
+// concurrent requesters coalesce onto one fetch and the hook's result is
+// shared. A hook miss falls through to the normal claim — the caller
+// measures locally. The hook must not call back into the cache for the
+// same key.
+//
+// SetFetch must be called before the cache is shared between goroutines
+// (it is a plain field write, wired once at cluster-node construction).
+func (c *Cache) SetFetch(f func(key []byte) (float64, bool)) { c.fetch = f }
+
+// runFetch runs the fetch hook with the claim held, abandoning the claim
+// if the hook panics so the fingerprint is not wedged for every future
+// requester while the panic propagates.
+func runFetch(cl *Claim, f func([]byte) (float64, bool), key []byte) (lat float64, ok bool) {
+	returned := false
+	defer func() {
+		if !returned {
+			cl.Abandon()
+		}
+	}()
+	lat, ok = f(key)
+	returned = true
+	return lat, ok
 }
 
 // Lookup returns the latency for a completed fingerprint without claiming
@@ -212,7 +274,7 @@ func (c *Cache) insert(key string, lat float64) bool {
 		return false
 	}
 	c.trimShardLocked(sh)
-	e := &entry{lat: lat}
+	e := &entry{lat: lat, seq: c.seq.Add(1)}
 	e.done.Store(true)
 	sh.m[key] = e
 	c.size.Add(1)
@@ -241,11 +303,17 @@ type Stats struct {
 	// Evicted counts completed entries shed over capacity (0 for
 	// unbounded caches).
 	Evicted int64 `json:"evicted"`
+	// Remote counts misses satisfied by the fetch hook (SetFetch) —
+	// entries pulled from a peer instead of measured locally. A remote
+	// hit is neither a Hit (it was not resident) nor a Miss (no
+	// simulator ran).
+	Remote int64 `json:"remote"`
 }
 
 // Saved returns the number of simulator invocations the cache avoided:
-// every hit and every coalesced wait would have been a measurement.
-func (s Stats) Saved() int64 { return s.Hits + s.Coalesced }
+// every hit, every coalesced wait, and every remote fetch would have
+// been a measurement.
+func (s Stats) Saved() int64 { return s.Hits + s.Coalesced + s.Remote }
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() Stats {
@@ -256,6 +324,7 @@ func (c *Cache) Stats() Stats {
 		Coalesced: c.coalesced.Load(),
 		Loaded:    c.loaded.Load(),
 		Evicted:   c.evicted.Load(),
+		Remote:    c.remote.Load(),
 	}
 }
 

@@ -17,17 +17,123 @@ import (
 const fileVersion = 1
 
 // cacheFile is the persisted JSON form of a cache: a version stamp plus
-// one (fingerprint, latency) pair per completed entry.
+// one (fingerprint, latency) pair per completed entry. The same
+// WireEntry records travel between cluster peers, so persistence and
+// peer exchange share one serialization path.
 type cacheFile struct {
 	Version int         `json:"version"`
-	Entries []fileEntry `json:"entries"`
+	Entries []WireEntry `json:"entries"`
 }
 
-type fileEntry struct {
+// WireEntry is the wire form of one completed measurement — the unit of
+// both the persisted cache file and cluster peer exchange.
+type WireEntry struct {
 	// Key is the canonical fingerprint, base64 (raw URL alphabet).
 	Key string `json:"key"`
 	// Latency is the cached simulator output in seconds.
 	Latency float64 `json:"latency"`
+}
+
+// Decode validates a wire entry and returns its raw fingerprint and
+// latency. It rejects malformed base64, keys built by an incompatible
+// fingerprint-encoding version, and non-finite or negative latencies.
+func (we WireEntry) Decode() ([]byte, float64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(we.Key)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad key: %w", err)
+	}
+	if len(raw) == 0 || raw[0] != KeyVersion {
+		return nil, 0, fmt.Errorf("key encoding version mismatch (cache built by an incompatible version)")
+	}
+	if math.IsNaN(we.Latency) || math.IsInf(we.Latency, 0) || we.Latency < 0 {
+		return nil, 0, fmt.Errorf("invalid latency %v", we.Latency)
+	}
+	return raw, we.Latency, nil
+}
+
+// Snapshot exports every completed entry published after the given
+// sequence point, sorted by fingerprint, plus the sequence point to pass
+// to the next incremental Snapshot. Snapshot(0) exports the whole cache
+// (the persisted-file body); a cluster pusher feeds each call's returned
+// point back in to ship only what was published since its last round.
+//
+// The cut is exact: publication stamps the sequence under the entry's
+// shard mutex, and Snapshot holds every shard mutex while it scans and
+// reads the counter, so no concurrent Commit can land inside the cut
+// unseen. Entries evicted between snapshots are simply absent — they
+// are exact oracle outputs and always recomputable.
+func (c *Cache) Snapshot(since uint64) ([]WireEntry, uint64) {
+	type rawEntry struct {
+		key string
+		lat float64
+	}
+	var rows []rawEntry
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	for i := range c.shards {
+		for k, e := range c.shards[i].m {
+			if e.done.Load() && e.seq > since {
+				rows = append(rows, rawEntry{key: k, lat: e.lat})
+			}
+		}
+	}
+	next := c.seq.Load()
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	out := make([]WireEntry, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, WireEntry{
+			Key:     base64.RawURLEncoding.EncodeToString([]byte(r.key)),
+			Latency: r.lat,
+		})
+	}
+	return out, next
+}
+
+// Export returns the wire form of the completed entries among keys, in
+// key order of the input; absent and in-flight keys are skipped. This is
+// the lookup side of peer exchange: a peer asks for specific
+// fingerprints and gets back only what this cache has finished.
+func (c *Cache) Export(keys [][]byte) []WireEntry {
+	out := make([]WireEntry, 0, len(keys))
+	for _, key := range keys {
+		if lat, ok := c.Lookup(key); ok {
+			out = append(out, WireEntry{
+				Key:     base64.RawURLEncoding.EncodeToString(key),
+				Latency: lat,
+			})
+		}
+	}
+	return out
+}
+
+// Merge validates wire entries and inserts the absent ones, returning
+// how many were added (already-present fingerprints are kept, not
+// overwritten — both sides hold the same oracle value by construction).
+// Merge is all-or-nothing: every entry is validated before a single one
+// is inserted, so a corrupt batch leaves the cache exactly as it was.
+// Added entries count toward Stats.Loaded.
+func (c *Cache) Merge(entries []WireEntry) (int, error) {
+	keys := make([]string, len(entries))
+	lats := make([]float64, len(entries))
+	for i, we := range entries {
+		raw, lat, err := we.Decode()
+		if err != nil {
+			return 0, fmt.Errorf("measure: cache entry %d: %w", i, err)
+		}
+		keys[i], lats[i] = string(raw), lat
+	}
+	added := 0
+	for i := range keys {
+		if c.insert(keys[i], lats[i]) {
+			added++
+		}
+	}
+	c.loaded.Add(int64(added))
+	return added, nil
 }
 
 // Save writes every completed entry as JSON. In-flight entries are
@@ -35,31 +141,9 @@ type fileEntry struct {
 // sorted by fingerprint, so the file is a pure function of the cache
 // contents: identical runs produce byte-identical cache files.
 func (c *Cache) Save(w io.Writer) error {
-	type rawEntry struct {
-		key string
-		lat float64
-	}
-	var entries []rawEntry
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for k, e := range sh.m {
-			if e.done.Load() {
-				entries = append(entries, rawEntry{key: k, lat: e.lat})
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
-	out := cacheFile{Version: fileVersion, Entries: make([]fileEntry, 0, len(entries))}
-	for _, e := range entries {
-		out.Entries = append(out.Entries, fileEntry{
-			Key:     base64.RawURLEncoding.EncodeToString([]byte(e.key)),
-			Latency: e.lat,
-		})
-	}
+	entries, _ := c.Snapshot(0)
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(cacheFile{Version: fileVersion, Entries: entries})
 }
 
 // Load merges a previously saved cache into c, returning how many entries
@@ -82,32 +166,14 @@ func (c *Cache) Load(r io.Reader) (int, error) {
 	if in.Version != fileVersion {
 		return 0, fmt.Errorf("measure: cache file version %d, want %d", in.Version, fileVersion)
 	}
-	keys := make([]string, len(in.Entries))
-	for i, e := range in.Entries {
-		raw, err := base64.RawURLEncoding.DecodeString(e.Key)
-		if err != nil {
-			return 0, fmt.Errorf("measure: cache entry %d: bad key: %w", i, err)
-		}
-		if len(raw) == 0 || raw[0] != KeyVersion {
-			return 0, fmt.Errorf("measure: cache entry %d: key encoding version mismatch (cache built by an incompatible version)", i)
-		}
-		if math.IsNaN(e.Latency) || math.IsInf(e.Latency, 0) || e.Latency < 0 {
-			return 0, fmt.Errorf("measure: cache entry %d: invalid latency %v", i, e.Latency)
-		}
-		keys[i] = string(raw)
-	}
-	added := 0
-	for i, e := range in.Entries {
-		if c.insert(keys[i], e.Latency) {
-			added++
-		}
-	}
-	c.loaded.Add(int64(added))
-	return added, nil
+	return c.Merge(in.Entries)
 }
 
 // SaveFile writes the cache to path (via a temp file + rename, so a crash
-// mid-save never truncates a previously good cache file).
+// mid-save never truncates a previously good cache file). Safe to call
+// while fills are in flight: Snapshot cuts a consistent set of completed
+// entries, so the file is loadable all-or-nothing regardless of what was
+// mid-measurement during the save.
 func (c *Cache) SaveFile(path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".measure-cache-*")
 	if err != nil {

@@ -1,0 +1,182 @@
+package measure
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ios/internal/gpusim"
+)
+
+func fillKey(i int) []byte {
+	return testKey([]gpusim.Stream{{kernel(float64(1+i)*1e6, 2e6)}})
+}
+
+func mustFill(t *testing.T, c *Cache, key []byte, lat float64) {
+	t.Helper()
+	if _, cl := c.GetOrBegin(key); cl != nil {
+		cl.Commit(lat)
+	}
+}
+
+func TestSnapshotIncremental(t *testing.T) {
+	c := NewCache()
+	mustFill(t, c, fillKey(0), 1e-6)
+	mustFill(t, c, fillKey(1), 2e-6)
+
+	full, cut := c.Snapshot(0)
+	if len(full) != 2 {
+		t.Fatalf("full snapshot has %d entries, want 2", len(full))
+	}
+	// In-flight (uncommitted) fills are invisible.
+	_, pending := c.GetOrBegin(fillKey(9))
+	if got, _ := c.Snapshot(0); len(got) != 2 {
+		t.Fatalf("snapshot saw an uncommitted fill: %d entries", len(got))
+	}
+	pending.Abandon()
+
+	if inc, _ := c.Snapshot(cut); len(inc) != 0 {
+		t.Fatalf("incremental snapshot at the cut has %d entries, want 0", len(inc))
+	}
+	mustFill(t, c, fillKey(2), 3e-6)
+	inc, cut2 := c.Snapshot(cut)
+	if len(inc) != 1 {
+		t.Fatalf("incremental snapshot has %d entries, want exactly the new one", len(inc))
+	}
+	if cut2 <= cut {
+		t.Fatalf("cut did not advance: %d -> %d", cut, cut2)
+	}
+	_, lat, err := inc[0].Decode()
+	if err != nil || lat != 3e-6 {
+		t.Fatalf("incremental entry decodes to %g (%v), want 3e-6", lat, err)
+	}
+}
+
+func TestMergeRoundTripAndDedup(t *testing.T) {
+	src := NewCache()
+	mustFill(t, src, fillKey(0), 1e-6)
+	mustFill(t, src, fillKey(1), 2e-6)
+	entries, _ := src.Snapshot(0)
+
+	dst := NewCache()
+	added, err := dst.Merge(entries)
+	if err != nil || added != 2 {
+		t.Fatalf("Merge = (%d, %v), want (2, nil)", added, err)
+	}
+	if lat, ok := dst.Lookup(fillKey(1)); !ok || lat != 2e-6 {
+		t.Fatalf("merged lookup = (%g, %v)", lat, ok)
+	}
+	if added, err := dst.Merge(entries); err != nil || added != 0 {
+		t.Fatalf("re-Merge = (%d, %v), want (0, nil)", added, err)
+	}
+	if st := dst.Stats(); st.Loaded != 2 {
+		t.Fatalf("Loaded = %d, want 2", st.Loaded)
+	}
+}
+
+func TestMergeAllOrNothing(t *testing.T) {
+	src := NewCache()
+	mustFill(t, src, fillKey(0), 1e-6)
+	entries, _ := src.Snapshot(0)
+	bad := entries[0]
+	bad.Latency = -1
+	batch := []WireEntry{entries[0], bad}
+
+	dst := NewCache()
+	if added, err := dst.Merge(batch); err == nil {
+		t.Fatalf("Merge accepted a negative latency (added %d)", added)
+	}
+	if st := dst.Stats(); st.Size != 0 {
+		t.Fatalf("rejected Merge still inserted %d entries", st.Size)
+	}
+}
+
+func TestExportSubset(t *testing.T) {
+	c := NewCache()
+	mustFill(t, c, fillKey(0), 1e-6)
+	mustFill(t, c, fillKey(1), 2e-6)
+	out := c.Export([][]byte{fillKey(1), fillKey(7)})
+	if len(out) != 1 {
+		t.Fatalf("Export returned %d entries, want 1", len(out))
+	}
+	if _, lat, err := out[0].Decode(); err != nil || lat != 2e-6 {
+		t.Fatalf("exported latency %g (%v), want 2e-6", lat, err)
+	}
+}
+
+func TestFetchHook(t *testing.T) {
+	c := NewCache()
+	c.SetFetch(func(k []byte) (float64, bool) { return 4.5e-6, true })
+	lat, cl := c.GetOrBegin(fillKey(0))
+	if cl != nil || lat != 4.5e-6 {
+		t.Fatalf("GetOrBegin with fetch hit = (%g, %v)", lat, cl)
+	}
+	st := c.Stats()
+	if st.Remote != 1 || st.Misses != 0 || st.Size != 1 {
+		t.Fatalf("stats after remote hit = %+v", st)
+	}
+	c.SetFetch(func(k []byte) (float64, bool) { return 0, false })
+	if _, cl := c.GetOrBegin(fillKey(1)); cl == nil {
+		t.Fatal("fetch miss did not fall through to a claim")
+	} else {
+		cl.Commit(1e-6)
+	}
+	// A panicking hook abandons the claim instead of wedging it.
+	c.SetFetch(func(k []byte) (float64, bool) { panic("boom") })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.GetOrBegin(fillKey(2))
+	}()
+	c.SetFetch(nil)
+	if _, cl := c.GetOrBegin(fillKey(2)); cl == nil {
+		t.Fatal("claim wedged after hook panic")
+	} else {
+		cl.Commit(1e-6)
+	}
+}
+
+// TestSaveFileDuringActiveFills: checkpointing a cache under live fills
+// always yields a loadable, consistent file.
+func TestSaveFileDuringActiveFills(t *testing.T) {
+	c := NewCache()
+	path := filepath.Join(t.TempDir(), "measure.json")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := testKey([]gpusim.Stream{{kernel(float64(w*1000+i%200+1), 7)}})
+				if _, cl := c.GetOrBegin(k); cl != nil {
+					cl.Commit(float64(i%50+1) * 1e-7)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		if err := c.SaveFile(path); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("save %d: %v", i, err)
+		}
+		fresh := NewCache()
+		if _, err := fresh.LoadFile(path); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("load of save %d: %v", i, fmt.Errorf("%w", err))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

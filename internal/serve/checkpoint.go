@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// Checkpointer periodically runs a save function — atomically persisting
+// caches and plans on a ticker, not only at exit, so a crashed node loses
+// at most one interval of warm state instead of all of it. The save
+// function is the embedder's (iosserve wires the same SaveFile closure it
+// runs at shutdown); both caches' SaveFile are safe to call while fills
+// are in flight, so checkpointing never pauses serving.
+type Checkpointer struct {
+	// Interval is the wall-clock save period (used only when Ticks is
+	// nil). Zero or negative disables Run entirely.
+	Interval time.Duration
+	// Save persists the state; it is called once per tick, never
+	// concurrently with itself.
+	Save func()
+	// Ticks, when non-nil, replaces the wall-clock ticker — the
+	// injectable clock for tests.
+	Ticks <-chan time.Time
+}
+
+// Run saves on every tick until ctx ends. It never returns early on a
+// Save failure — the save function owns its error reporting (a full disk
+// now should not end checkpointing forever).
+func (cp *Checkpointer) Run(ctx context.Context) {
+	if cp.Save == nil {
+		return
+	}
+	ticks := cp.Ticks
+	if ticks == nil {
+		if cp.Interval <= 0 {
+			return
+		}
+		t := time.NewTicker(cp.Interval)
+		defer t.Stop()
+		ticks = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticks:
+			cp.Save()
+		}
+	}
+}

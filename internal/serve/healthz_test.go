@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHealthzReadiness: /healthz is 200 "ready" on a fresh server, 503
+// "starting" while an embedder holds readiness off (loading caches,
+// warming), and 200 again once it flips back.
+func TestHealthzReadiness(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET /healthz = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var hr HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Status != wantStatus {
+			t.Fatalf("status %q, want %q", hr.Status, wantStatus)
+		}
+		if hr.UptimeS < 0 {
+			t.Fatalf("negative uptime %v", hr.UptimeS)
+		}
+	}
+
+	if !s.Ready() {
+		t.Fatal("fresh server not ready")
+	}
+	check(http.StatusOK, "ready")
+	s.SetReady(false)
+	check(http.StatusServiceUnavailable, "starting")
+	s.SetReady(true)
+	check(http.StatusOK, "ready")
+
+	// Only GET is allowed.
+	resp, err := http.Post(ts.URL+"/healthz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCheckpointerTicks: the checkpointer saves once per injected tick
+// and stops when the context ends.
+func TestCheckpointerTicks(t *testing.T) {
+	ticks := make(chan time.Time)
+	saves := make(chan struct{}, 8)
+	cp := &Checkpointer{
+		Interval: time.Hour, // ignored: Ticks is set
+		Save:     func() { saves <- struct{}{} },
+		Ticks:    ticks,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); cp.Run(ctx) }()
+
+	for i := 0; i < 3; i++ {
+		ticks <- time.Time{}
+		select {
+		case <-saves:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("tick %d: no save", i)
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if len(saves) != 0 {
+		t.Fatalf("%d extra saves", len(saves))
+	}
+
+	// Degenerate configs return immediately instead of spinning.
+	(&Checkpointer{}).Run(context.Background())
+	(&Checkpointer{Save: func() {}, Interval: 0}).Run(context.Background())
+}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,6 +161,13 @@ type Server struct {
 	plansReqs     int64
 	cancelledReqs int64
 	inferReqs     int64
+	healthzReqs   int64
+
+	// ready gates GET /healthz: true once start-up work (cache loads,
+	// warm precompute) is done. NewServer starts ready — embedders that
+	// warm flip it off first (see SetReady) — so the zero config needs
+	// no extra call.
+	ready atomic.Bool
 
 	// Batch-specialization plans, keyed by the specialization axes minus
 	// batch (which plans span). planMu also guards the float penalty
@@ -241,9 +250,22 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/models", s.handleModels)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/plans", s.handlePlans)
+	s.mux.HandleFunc("/plans/", s.handlePlanGet)
 	s.mux.HandleFunc("/infer", s.handleInfer)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.ready.Store(true)
 	return s
 }
+
+// SetReady flips the GET /healthz readiness gate. A server is born ready;
+// embedders doing start-up work (loading persisted caches, warm
+// precompute, plan sweeps) flip it off before and on after, so cluster
+// membership and load balancers only route to nodes whose warm state is
+// actually in place.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current GET /healthz readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // RegisterPlan validates and registers a batch-specialization plan for
 // routing. A plan replaces any earlier plan with the same (model, device,
@@ -1000,6 +1022,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":     atomic.LoadInt64(&s.statsReqs),
 			"plans":     atomic.LoadInt64(&s.plansReqs),
 			"cancelled": atomic.LoadInt64(&s.cancelledReqs),
+			"healthz":   atomic.LoadInt64(&s.healthzReqs),
 		},
 		Cache:        s.cache.Stats(),
 		MeasureCache: s.measure.Stats(),
@@ -1049,6 +1072,84 @@ func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 		return a.Options < b.Options
 	})
 	s.writeJSON(w, infos)
+}
+
+// handlePlanGet serves the plan registry: GET /plans/<model>/<device>/<opts>
+// returns the registered plan in its persisted JSON form (plan.Load reads
+// it back losslessly), so stateless frontends and joining cluster nodes
+// pull specialized batch plans instead of rebuilding them. Each path
+// segment is URL-escaped by the client — device names carry spaces and
+// options fingerprints carry slashes — so the split runs over the escaped
+// path before unescaping the parts.
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.plansReqs, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/plans/")
+	segs := strings.SplitN(rest, "/", 3)
+	if len(segs) != 3 || segs[0] == "" || segs[1] == "" || segs[2] == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("use GET /plans/<model>/<device>/<options> (each segment URL-escaped)"))
+		return
+	}
+	parts := make([]string, 3)
+	for i, seg := range segs {
+		p, err := url.PathUnescape(seg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad path segment %q: %v", seg, err))
+			return
+		}
+		parts[i] = p
+	}
+	p := s.LookupPlan(parts[0], parts[1], parts[2])
+	if p == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no plan for model %q device %q options %q", parts[0], parts[1], parts[2]))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := p.Save(w); err != nil {
+		s.logf("plan registry: encode %s/%s/%s: %v", parts[0], parts[1], parts[2], err)
+	}
+}
+
+// LookupPlan returns the registered plan for exactly (model, device,
+// options fingerprint), or nil — the programmatic face of the plan
+// registry endpoint.
+func (s *Server) LookupPlan(model, device, opts string) *plan.Plan {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	return s.plans[planKey{model, device, opts}]
+}
+
+// HealthzResponse is the GET /healthz body.
+type HealthzResponse struct {
+	// Status is "ready" (HTTP 200) once start-up work — persisted cache
+	// loads, warm precompute, plan sweeps — is done, else "starting"
+	// (HTTP 503). See SetReady.
+	Status string `json:"status"`
+	// UptimeS is seconds since the server was constructed.
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// handleHealthz is the readiness probe: 200 {"status":"ready"} once
+// start-up work is done, 503 {"status":"starting"} before. The cluster
+// harness polls it for membership; load balancers should too.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt64(&s.healthzReqs, 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	resp := HealthzResponse{Status: "ready", UptimeS: time.Since(s.start).Seconds()}
+	if !s.ready.Load() {
+		resp.Status = "starting"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	s.writeJSON(w, resp)
 }
 
 // plumbing --------------------------------------------------------------
