@@ -1,7 +1,8 @@
 // Command ioslint is the repository's static-analysis gate: a
 // multichecker over the custom analyzers in internal/lint, which
 // mechanically enforce the determinism, fingerprint-soundness,
-// context-discipline, and mutex-guard conventions the serving stack's
+// context-discipline, mutex-guard, lock-order, goroutine-termination,
+// wire-taint, and atomic-field conventions the serving stack's
 // correctness claims rest on.
 //
 // Usage:
@@ -9,6 +10,8 @@
 //	go run ./cmd/ioslint ./...          # analyze packages by pattern
 //	go run ./cmd/ioslint -list          # describe the analyzers
 //	go run ./cmd/ioslint -only determinism,fingerprint ./...
+//	go run ./cmd/ioslint -json ./...    # stable rule/position/message array
+//	go run ./cmd/ioslint -sarif ./...   # SARIF 2.1.0 for code-scanning UIs
 //	go vet -vettool=$(which ioslint) ./...   # as a vet tool
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. In vettool
@@ -28,7 +31,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,16 +57,21 @@ func main() {
 	}
 
 	var (
-		listFlag = flag.Bool("list", false, "describe the analyzers and exit")
-		jsonFlag = flag.Bool("json", false, "emit diagnostics as JSON")
-		onlyFlag = flag.String("only", "", "comma-separated subset of analyzers to run")
+		listFlag  = flag.Bool("list", false, "describe the analyzers and exit")
+		jsonFlag  = flag.Bool("json", false, "emit findings as a JSON array (stable rule/position/message schema)")
+		sarifFlag = flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document")
+		onlyFlag  = flag.String("only", "", "comma-separated subset of analyzers to run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: ioslint [-list] [-json] [-only a,b] package-patterns...\n\nFlags:\n")
+			"usage: ioslint [-list] [-json|-sarif] [-only a,b] package-patterns...\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonFlag && *sarifFlag {
+		fmt.Fprintln(os.Stderr, "ioslint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := lint.All()
 	if *listFlag {
@@ -101,37 +108,45 @@ func main() {
 		}
 		all = append(all, diags...)
 	}
-	if *jsonFlag {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
+	switch {
+	case *jsonFlag:
+		if err := writeJSON(os.Stdout, all); err != nil {
 			fmt.Fprintln(os.Stderr, "ioslint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifFlag:
+		if err := writeSARIF(os.Stdout, analyzers, all); err != nil {
+			fmt.Fprintln(os.Stderr, "ioslint:", err)
+			os.Exit(2)
+		}
+	default:
 		for _, d := range all {
 			fmt.Println(d)
 		}
 	}
 	if len(all) > 0 {
-		if !*jsonFlag {
+		if !*jsonFlag && !*sarifFlag {
 			fmt.Fprintf(os.Stderr, "ioslint: %d finding(s)\n", len(all))
 		}
 		os.Exit(1)
 	}
 }
 
-// selectAnalyzers filters the suite by a comma-separated name list.
+// selectAnalyzers filters the suite by a comma-separated name list. An
+// unknown name is a usage error listing every valid analyzer, so a typo
+// fails loudly instead of silently checking nothing.
 func selectAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
 	index := make(map[string]*lint.Analyzer, len(all))
+	valid := make([]string, 0, len(all))
 	for _, a := range all {
 		index[a.Name] = a
+		valid = append(valid, a.Name)
 	}
 	var out []*lint.Analyzer
 	for _, name := range strings.Split(names, ",") {
 		a, ok := index[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, fingerprint, ctxdiscipline, mutexguard)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

@@ -78,6 +78,10 @@ func TestBrokenModule(t *testing.T) {
 		"fp/fp.go:13:6: [fingerprint] fingerprint encoder Key does not consume Spec.Coef",
 		"ctxd/ctxd.go:10:14: [ctxdiscipline] function has a ctx parameter but calls context.Background",
 		"mg/mg.go:13:9: [mutexguard] Box.val is guarded by \"mu\" but Get neither locks b.mu",
+		"lo/lo.go:17:2: [lockorder] HTTP round-trip (http.Get) while holding Box.mu (locked at lo.go:15)",
+		"gl/gl.go:10:2: [goroleak] goroutine has no termination witness",
+		"wt/wt.go:18:2: [wiretaint] wire-tainted value reaches Commit without validation",
+		"af/af.go:16:9: [atomicfield] field Counter.n is accessed atomically elsewhere (atomic.AddInt64 at af.go:12) but read here",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q; got:\n%s", want, out)
@@ -86,8 +90,8 @@ func TestBrokenModule(t *testing.T) {
 	if strings.Contains(out, "clean/clean.go") {
 		t.Errorf("clean package was flagged:\n%s", out)
 	}
-	if !strings.Contains(out, "ioslint: 4 finding(s)") {
-		t.Errorf("want exactly 4 findings; got:\n%s", out)
+	if !strings.Contains(out, "ioslint: 8 finding(s)") {
+		t.Errorf("want exactly 8 findings; got:\n%s", out)
 	}
 }
 
@@ -102,19 +106,92 @@ func TestOnlyFilter(t *testing.T) {
 	}
 }
 
-// TestJSONOutput checks machine-readable mode parses and carries the
-// same findings.
+// TestJSONOutput checks machine-readable mode parses, carries the same
+// findings, and keeps the stable rule/position/message field names.
 func TestJSONOutput(t *testing.T) {
 	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "-json", "./...")
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+	var findings []struct {
+		Rule     string `json:"rule"`
+		Position struct {
+			File   string `json:"file"`
+			Line   int    `json:"line"`
+			Column int    `json:"column"`
+		} `json:"position"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out)
 	}
-	if len(diags) != 4 {
-		t.Fatalf("got %d findings, want 4: %v", len(diags), diags)
+	if len(findings) != 8 {
+		t.Fatalf("got %d findings, want 8: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Rule == "" || f.Position.File == "" || f.Position.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing stable fields: %+v", f)
+		}
+	}
+	// The schema is a contract: the raw keys must appear literally.
+	for _, key := range []string{`"rule"`, `"position"`, `"file"`, `"line"`, `"column"`, `"message"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("JSON output missing schema key %s:\n%s", key, out)
+		}
+	}
+}
+
+// TestSARIFOutput checks the SARIF 2.1.0 document shape: one run, a
+// rule per analyzer, a result per finding.
+func TestSARIFOutput(t *testing.T) {
+	out, code := runTool(t, filepath.Join("testdata", "brokenmod"), "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ioslint" {
+		t.Errorf("driver name = %q, want ioslint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(lint.All()); got != want {
+		t.Errorf("got %d rules, want %d (one per analyzer)", got, want)
+	}
+	if len(run.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Level != "error" || len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("malformed SARIF result: %+v", r)
+		}
 	}
 }
 
@@ -126,6 +203,13 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(out, `unknown analyzer "nope"`) {
 		t.Errorf("missing unknown-analyzer message:\n%s", out)
+	}
+	// The error must list every valid analyzer, so the user can correct
+	// the typo without a second round trip through -list.
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("unknown-analyzer message missing valid name %q:\n%s", a.Name, out)
+		}
 	}
 }
 

@@ -1,0 +1,17 @@
+// Package af seeds one atomic-field violation: a plain read of an
+// atomically updated counter.
+package af
+
+import "sync/atomic"
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Peek() int64 {
+	return c.n
+}

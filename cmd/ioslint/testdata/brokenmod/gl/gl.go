@@ -1,0 +1,15 @@
+// Package gl seeds one goroutine-leak violation: a daemon with no
+// termination witness.
+package gl
+
+type Pump struct {
+	ch chan int
+}
+
+func (p *Pump) Start() {
+	go func() {
+		for {
+			p.ch <- 1
+		}
+	}()
+}

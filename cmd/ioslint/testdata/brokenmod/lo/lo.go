@@ -1,0 +1,18 @@
+// Package lo seeds one lock-order violation: an HTTP round trip
+// performed while holding the box mutex.
+package lo
+
+import (
+	"net/http"
+	"sync"
+)
+
+type Box struct {
+	mu sync.Mutex
+}
+
+func (b *Box) Probe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	http.Get("http://peer")
+}

@@ -1,0 +1,19 @@
+// Package wt seeds one wire-taint violation: decoded request JSON
+// committed without validation.
+package wt
+
+import "encoding/json"
+
+type Store struct{ total int }
+
+func (s *Store) Commit(n int) { s.total += n }
+
+type msg struct {
+	N int `json:"n"`
+}
+
+func Ingest(s *Store, raw []byte) {
+	var m msg
+	json.Unmarshal(raw, &m) //ioslint:untrusted wire bytes
+	s.Commit(m.N)
+}

@@ -51,6 +51,8 @@ type WireStage struct {
 // incompatible fingerprint-encoding version, unknown strategies, and
 // structurally inconsistent stage lists (Entry.validate — every block
 // operator scheduled exactly once, groups non-empty).
+//
+//ioslint:validator
 func (we WireEntry) Decode() ([]byte, *Entry, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(we.Key)
 	if err != nil {
@@ -146,6 +148,8 @@ func (c *Cache) Export(keys [][]byte) []WireEntry {
 // search). Merge is all-or-nothing: every entry is validated before a
 // single one is inserted, so a corrupt batch leaves the cache exactly as
 // it was. Added entries count toward Stats.Loaded.
+//
+//ioslint:validator
 func (c *Cache) Merge(entries []WireEntry) (int, error) {
 	keys := make([]string, len(entries))
 	vals := make([]*Entry, len(entries))
@@ -188,7 +192,7 @@ func (c *Cache) Save(w io.Writer) error {
 // consistency (each block operator scheduled exactly once, strategies
 // known, groups non-empty).
 func (c *Cache) Load(r io.Reader) (int, error) {
-	data, err := io.ReadAll(r)
+	data, err := io.ReadAll(r) //ioslint:untrusted persisted cache file bytes
 	if err != nil {
 		return 0, fmt.Errorf("blockcache: read cache: %w", err)
 	}

@@ -77,7 +77,7 @@ func (n *Node) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var preq pushRequest
-	if err := json.NewDecoder(r.Body).Decode(&preq); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&preq); err != nil { //ioslint:untrusted peer push request JSON
 		n.failJSON(w, http.StatusBadRequest, fmt.Errorf("parse push: %v", err))
 		return
 	}
@@ -131,7 +131,7 @@ func (n *Node) batchKeys(w http.ResponseWriter, r *http.Request) ([][]byte, bool
 		return nil, false
 	}
 	var req fetchKeysRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil { //ioslint:untrusted fetch request JSON
 		n.failJSON(w, http.StatusBadRequest, fmt.Errorf("parse fetch: %v", err))
 		return nil, false
 	}

@@ -177,6 +177,7 @@ func (h *Harness) Join(ctx context.Context) (*HarnessNode, error) {
 		}
 	}
 	hn.hs = &http.Server{Handler: handler}
+	//lint:ioslint-ignore goroleak deliberate daemon: Serve returns when Kill/Close shuts the server down (hs.Close below and in Kill)
 	go hn.hs.Serve(lis)
 	if err := h.waitReady(ctx, hn.URL); err != nil {
 		cancel()

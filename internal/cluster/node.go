@@ -308,7 +308,7 @@ func (n *Node) markDown(id string) {
 // same bar a persisted cache file meets — and is then rebound to the
 // actual block by the existing blockcache.Rebind path at the call site.
 func (n *Node) fetchBlock(ctx context.Context, key []byte) (*blockcache.Entry, bool) {
-	wes, ok := n.fetchEntry(ctx, "block", key, &n.blockFetchErrors)
+	wes, ok := n.fetchEntry(ctx, "block", key, &n.blockFetchErrors) //ioslint:untrusted peer HTTP body
 	if !ok || len(wes) == 0 {
 		n.blockFetchMisses.Add(1)
 		return nil, false
@@ -340,7 +340,7 @@ func (n *Node) fetchMeasure(key []byte) (float64, bool) {
 	if !n.measureFetchArmed() {
 		return 0, false
 	}
-	wes, ok := n.fetchEntry(n.baseCtx, "measure", key, &n.measureFetchErrors)
+	wes, ok := n.fetchEntry(n.baseCtx, "measure", key, &n.measureFetchErrors) //ioslint:untrusted peer HTTP body
 	if !ok || len(wes) == 0 {
 		n.measureFetchMisses.Add(1)
 		n.noteMeasureMiss()
@@ -484,6 +484,8 @@ type pushResponse struct {
 // next time — Merge on the receiver deduplicates. Run calls this on a
 // ticker; the harness calls it synchronously to hand a warm keyspace to
 // its owners before a join.
+//
+//ioslint:lockorder-allow Node.pushMu push rounds serialize deliberately: the snapshot cursors must advance atomically with their push round-trip, only the background pusher and harness warm-up contend for this lock, and no request path ever takes it
 func (n *Node) Sync(ctx context.Context) (int, error) {
 	n.pushMu.Lock()
 	defer n.pushMu.Unlock()
@@ -653,7 +655,7 @@ func (n *Node) pullPlansFrom(ctx context.Context, baseURL string) (int, error) {
 		return 0, err
 	}
 	var infos []serve.PlanInfo
-	err = json.NewDecoder(resp.Body).Decode(&infos)
+	err = json.NewDecoder(resp.Body).Decode(&infos) //ioslint:untrusted peer HTTP plan listing
 	resp.Body.Close()
 	if err != nil {
 		return 0, err
@@ -675,6 +677,14 @@ func (n *Node) pullPlansFrom(ctx context.Context, baseURL string) (int, error) {
 	return added, nil
 }
 
+// pullPlan fetches one plan and validates the peer echoed the identity
+// that was asked for: plan.Load already rejects structurally invalid
+// plans, but a body whose (model, device, opts) differ from the URL
+// would otherwise register under the wrong key and win every subsequent
+// lookup for that key on this node — the same identity-echo bar the
+// fetch hooks apply with bytes.Equal(raw, key).
+//
+//ioslint:validator
 func (n *Node) pullPlan(ctx context.Context, baseURL string, info serve.PlanInfo) (*plan.Plan, error) {
 	u := baseURL + "/plans/" + url.PathEscape(info.Model) + "/" + url.PathEscape(info.Device) + "/" + url.PathEscape(info.Options)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
@@ -690,7 +700,14 @@ func (n *Node) pullPlan(ctx context.Context, baseURL string, info serve.PlanInfo
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("cluster: pull plan %s/%s/%s: HTTP %d", info.Model, info.Device, info.Options, resp.StatusCode)
 	}
-	return plan.Load(resp.Body)
+	p, err := plan.Load(resp.Body) //ioslint:untrusted peer HTTP plan body
+	if err != nil {
+		return nil, err
+	}
+	if p.Model != info.Model || p.Device != info.Device || p.Opts != info.Options {
+		return nil, fmt.Errorf("cluster: pull plan %s/%s/%s: peer returned plan %s/%s/%s", info.Model, info.Device, info.Options, p.Model, p.Device, p.Opts)
+	}
+	return p, nil
 }
 
 func (n *Node) logf(format string, args ...any) {

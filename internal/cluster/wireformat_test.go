@@ -1,0 +1,44 @@
+// Wire-format pinning tests for the exchange protocol bodies: the push
+// request/response field sets and JSON tags are pinned as data, so
+// widening the protocol without thinking about mixed-version fleets
+// fails here with instructions. The entries themselves are versioned by
+// the caches' WireEntry key bytes, pinned in those packages.
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// pushV1Fields pins the exact (field, json tag) pairs, in declaration
+// order, of the POST /cluster/push bodies.
+var pushV1Fields = []struct {
+	typ  reflect.Type
+	want [][2]string
+}{
+	{reflect.TypeOf(pushRequest{}), [][2]string{
+		{"Block", "block"},
+		{"Measure", "measure"},
+	}},
+	{reflect.TypeOf(pushResponse{}), [][2]string{
+		{"BlockAdded", "block_added"},
+		{"MeasureAdded", "measure_added"},
+	}},
+}
+
+func TestPushBodyFieldSetsPinned(t *testing.T) {
+	for _, pin := range pushV1Fields {
+		if pin.typ.NumField() != len(pin.want) {
+			t.Errorf("cluster.%s has %d fields, want %d: a new push field is invisible to old peers (and an old peer's push drops it), so widen the protocol deliberately — handle absence on both sides, then re-pin this test", pin.typ.Name(), pin.typ.NumField(), len(pin.want))
+			continue
+		}
+		for i, want := range pin.want {
+			f := pin.typ.Field(i)
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if f.Name != want[0] || tag != want[1] {
+				t.Errorf("%s field %d = %s (json %q), want %s (json %q)", pin.typ.Name(), i, f.Name, tag, want[0], want[1])
+			}
+		}
+	}
+}

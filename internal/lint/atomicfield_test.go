@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, lint.AtomicField, filepath.Join("testdata", "src", "atomicfield"))
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in a library package to carry a
+// termination witness — structural evidence that the goroutine cannot
+// run (or block) forever once its owner is done with it:
+//
+//   - a WaitGroup witness: the goroutine (or the same-package function
+//     it runs) calls (*sync.WaitGroup).Done, so someone can Wait for it;
+//   - a context witness: it checks ctx.Done() or ctx.Err(), so
+//     cancelling the context stops it;
+//   - bounded work: its body contains no loops other than ranging over a
+//     channel (which terminates when the channel closes).
+//
+// A goroutine may also not be spawned while holding a tracked mutex:
+// the goroutine can outlive the critical section, and the spawn point
+// hides which state it was licensed to touch.
+//
+// Deliberate daemons (a background executor stopped by Close, an HTTP
+// server stopped by Shutdown) are annotated at the spawn site with
+// //lint:ioslint-ignore goroleak <reason>. Package main and test files
+// are exempt: their goroutines die with the process or the test.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "Every `go` statement in a library package needs a termination " +
+		"witness (WaitGroup.Done, a ctx.Done/ctx.Err check, or bounded work) " +
+		"and must not be spawned while holding a mutex.",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	la := newLockAnalysis(pass)
+	la.events = lockEvents{
+		goStmt: func(held []lockUse, g *ast.GoStmt) {
+			for _, h := range held {
+				pass.Reportf(g.Pos(), "goroutine spawned while holding %s (locked at %s): it can outlive the critical section — move the spawn after the unlock",
+					h.id, relPosition(pass, h.pos))
+			}
+			if ok, why := goroWitness(pass, la.index, g); !ok {
+				pass.Reportf(g.Pos(), "goroutine has no termination witness (%s); tie it to a WaitGroup or a context, bound its work, or annotate a deliberate daemon with //lint:ioslint-ignore goroleak <reason>", why)
+			}
+		},
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		walkFuncs(f, func(n ast.Node, stack funcStack) {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					la.walkFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				la.walkFunc(n.Body)
+			}
+		})
+	}
+	return nil
+}
+
+// goroWitness looks for a termination witness in the spawned function.
+func goroWitness(pass *Pass, index map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) (bool, string) {
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := calledFunc(pass, g.Call)
+		if fn == nil || index[fn] == nil {
+			return false, "the callee's body is outside this package, so nothing here proves it stops"
+		}
+		body = index[fn].Body
+	}
+	if body == nil {
+		return false, "the callee has no body"
+	}
+	w := witnessScan(pass, index, body, make(map[*ast.BlockStmt]bool), 0)
+	switch {
+	case w.wgDone:
+		return true, ""
+	case w.ctxCheck:
+		return true, ""
+	case !w.unboundedLoop:
+		return true, ""
+	}
+	return false, "no WaitGroup.Done, no ctx.Done/ctx.Err check, and an unbounded loop"
+}
+
+// witnessFacts accumulates evidence across a body and the same-package
+// functions it calls directly (depth-limited).
+type witnessFacts struct {
+	wgDone        bool
+	ctxCheck      bool
+	unboundedLoop bool
+}
+
+func witnessScan(pass *Pass, index map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) witnessFacts {
+	var w witnessFacts
+	if seen[body] || depth > 2 {
+		return w
+	}
+	seen[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			w.unboundedLoop = true
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when it closes — that is
+			// itself a witness-grade bound; other ranges are finite too.
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); !ok && isInfiniteRange(t) {
+					w.unboundedLoop = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if (n.Sel.Name == "Done" || n.Sel.Name == "Err") && pass.Info.TypeOf(n.X) != nil && isContextType(pass.Info.TypeOf(n.X)) {
+				w.ctxCheck = true
+			}
+		case *ast.CallExpr:
+			if fn := calledFunc(pass, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" && receiverTypeName(fn) == "WaitGroup" {
+					w.wgDone = true
+				}
+				if fn.Pkg() == pass.Pkg {
+					if fd := index[fn]; fd != nil && fd.Body != nil {
+						sub := witnessScan(pass, index, fd.Body, seen, depth+1)
+						w.wgDone = w.wgDone || sub.wgDone
+						w.ctxCheck = w.ctxCheck || sub.ctxCheck
+						w.unboundedLoop = w.unboundedLoop || sub.unboundedLoop
+					}
+				}
+			}
+		}
+		return true
+	})
+	return w
+}
+
+// isInfiniteRange reports whether ranging over a value of type t can
+// iterate forever: only integer range-over-func could, which the module
+// (go 1.21) does not use — ranges over slices, maps, strings, arrays and
+// integers are finite.
+func isInfiniteRange(t types.Type) bool {
+	_, isSig := t.Underlying().(*types.Signature)
+	return isSig
+}

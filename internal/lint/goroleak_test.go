@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, filepath.Join("testdata", "src", "goroleak"))
+}

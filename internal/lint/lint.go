@@ -33,6 +33,20 @@
 //   - mutexguard: fields annotated `// guarded by <mu>` may only be
 //     accessed in functions that lock that mutex (or are *Locked
 //     helpers); intra-procedural and conservative.
+//   - lockorder: builds the package's lock-acquisition graph and flags
+//     ordering cycles (potential deadlocks) and blocking operations
+//     (HTTP round-trips, channel waits, opaque hooks) performed while
+//     holding a mutex; proven-safe cases are exempted per function with
+//     a checked //ioslint:lockorder-allow directive.
+//   - goroleak: every `go` statement in a library package needs a
+//     termination witness (WaitGroup.Done, a ctx.Done/ctx.Err check, or
+//     bounded work) and must not be spawned while holding a lock.
+//   - wiretaint: values from //ioslint:untrusted sources (peer HTTP
+//     bodies, cache files, request JSON) must pass through an
+//     //ioslint:validator function before reaching Commit, Merge, or
+//     RegisterPlan sinks.
+//   - atomicfield: a struct field accessed via sync/atomic anywhere may
+//     never be read or written non-atomically elsewhere.
 //
 // # Suppressing a finding
 //
@@ -101,7 +115,10 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Fingerprint, CtxDiscipline, MutexGuard}
+	return []*Analyzer{
+		Determinism, Fingerprint, CtxDiscipline, MutexGuard,
+		LockOrder, GoroLeak, WireTaint, AtomicField,
+	}
 }
 
 // byName maps analyzer names for directive validation.
@@ -149,7 +166,10 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 
-	ignores, bad := parseIgnores(pkg, byName(analyzers))
+	// Directive names are validated against the full suite, not the run
+	// subset: `-only determinism` must not misreport a goroleak ignore
+	// as naming an unknown analyzer.
+	ignores, bad := parseIgnores(pkg, byName(All()))
 	kept := diags[:0]
 	for _, d := range diags {
 		if suppressed(ignores, d) {
@@ -159,9 +179,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	kept = append(kept, bad...)
 	// An ignore that suppresses nothing is stale; report it so dead
-	// suppressions are cleaned up rather than accumulating.
+	// suppressions are cleaned up rather than accumulating. Only ignores
+	// for analyzers that actually ran can be judged stale.
+	ran := byName(analyzers)
 	for _, ig := range ignores {
-		if !ig.used {
+		if !ig.used && ran[ig.analyzer] {
 			kept = append(kept, Diagnostic{
 				Pos:      pkg.Fset.Position(ig.pos),
 				Analyzer: "ioslint",

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, filepath.Join("testdata", "src", "lockorder"))
+}

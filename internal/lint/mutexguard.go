@@ -118,17 +118,7 @@ func isMutexField(st *types.Struct, mu string) bool {
 		if f.Name() != mu {
 			continue
 		}
-		t := f.Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		named, ok := t.(*types.Named)
-		if !ok {
-			return false
-		}
-		obj := named.Obj()
-		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
-			(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+		return isMutexType(f.Type())
 	}
 	return false
 }

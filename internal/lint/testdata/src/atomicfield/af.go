@@ -1,0 +1,37 @@
+// Package atomicfield exercises the atomic-field analyzer: fields used
+// through sync/atomic anywhere must be accessed atomically everywhere,
+// except on freshly constructed values.
+package atomicfield
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to its fields.
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `field counter\.n is accessed atomically elsewhere \(atomic\.AddInt64 at af\.go:\d+\) but read here without sync/atomic`
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want `field counter\.hits is accessed atomically elsewhere .* but written here without sync/atomic`
+}
+
+// newCounter initializes lock-free on a value it just built — exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.hits = 0
+	return c
+}

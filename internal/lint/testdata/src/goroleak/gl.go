@@ -1,0 +1,86 @@
+// Package goroleak exercises the goroutine-leak analyzer: termination
+// witnesses (WaitGroup, context, bounded work, channel ranges),
+// spawn-under-lock, opaque callees, and the deliberate-daemon ignore.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// spawnUnderLock starts a goroutine inside the critical section.
+func (w *worker) spawnUnderLock() {
+	w.mu.Lock()
+	go w.drain() // want `goroutine spawned while holding worker\.mu`
+	w.mu.Unlock()
+}
+
+// drain ranges over a channel: it terminates when the channel closes,
+// which is itself a witness-grade bound.
+func (w *worker) drain() {
+	for range w.ch {
+	}
+}
+
+// daemon loops forever with no witness.
+func (w *worker) daemon() {
+	go func() { // want `goroutine has no termination witness`
+		for {
+			w.ch <- 1
+		}
+	}()
+}
+
+// ctxLoop is cancellable: the ctx.Done check is its witness.
+func (w *worker) ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w.ch <- 1:
+			}
+		}
+	}()
+}
+
+// tracked is waited for: the WaitGroup.Done call is its witness.
+func (w *worker) tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if len(w.ch) == 0 {
+				return
+			}
+		}
+	}()
+}
+
+// bounded does a fixed amount of work — no loops at all.
+func (w *worker) bounded() {
+	go func() {
+		w.ch <- 1
+	}()
+}
+
+// spawnOpaque runs a callee whose body is outside this package; nothing
+// here proves it stops.
+func spawnOpaque(f func()) {
+	go f() // want `goroutine has no termination witness \(the callee's body is outside this package`
+}
+
+// deliberate is an annotated daemon: the ignore suppresses the finding.
+func (w *worker) deliberate() {
+	//lint:ioslint-ignore goroleak fixture daemon runs for the process lifetime by design
+	go func() {
+		for {
+			w.ch <- 1
+		}
+	}()
+}

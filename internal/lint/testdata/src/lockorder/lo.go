@@ -1,0 +1,97 @@
+// Package lockorder exercises the lock-order analyzer: ordering cycles,
+// blocking operations under a held mutex, transitive same-package
+// expansion, local-closure resolution, and the lockorder-allow
+// exemption.
+package lockorder
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// pair's two locks are taken in both orders across its methods — the
+// classic interleaving deadlock.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle: pair\.a → pair\.b`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// fetcher performs blocking work in various positions relative to its
+// lock.
+type fetcher struct {
+	mu   sync.Mutex
+	hook func(string) string
+	ch   chan int
+}
+
+func (f *fetcher) slow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	http.Get("http://peer") // want `HTTP round-trip \(http\.Get\) while holding fetcher\.mu`
+}
+
+func (f *fetcher) send() {
+	f.mu.Lock()
+	f.ch <- 1 // want `channel send while holding fetcher\.mu`
+	f.mu.Unlock()
+}
+
+func (f *fetcher) hookCall() {
+	f.mu.Lock()
+	f.hook("x") // want `call through function value f\.hook while holding fetcher\.mu`
+	f.mu.Unlock()
+}
+
+// viaCallee blocks transitively: the same-package callee's channel
+// receive surfaces at this call site.
+func (f *fetcher) viaCallee() {
+	f.mu.Lock()
+	f.wait() // want `channel receive \(inside wait\) while holding fetcher\.mu`
+	f.mu.Unlock()
+}
+
+func (f *fetcher) wait() {
+	<-f.ch
+}
+
+// localOK calls a pure local closure under the lock: resolved by its
+// body instead of treated as an opaque (assumed-blocking) hook.
+func (f *fetcher) localOK() int {
+	add := func(x int) int { return x + 1 }
+	f.mu.Lock()
+	n := add(1)
+	f.mu.Unlock()
+	return n
+}
+
+// allowed documents a deliberate block under the lock; the directive is
+// consumed, so neither the sleep nor a stale-allow is reported.
+//
+//ioslint:lockorder-allow fetcher.mu the sleep under the lock is this fixture's point
+func (f *fetcher) allowed() {
+	f.mu.Lock()
+	time.Sleep(time.Millisecond)
+	f.mu.Unlock()
+}
+
+// released blocks only after the unlock — the held set is empty.
+func (f *fetcher) released() {
+	f.mu.Lock()
+	f.mu.Unlock()
+	<-f.ch
+}

@@ -1,0 +1,79 @@
+// Package wiretaint exercises the wire-taint analyzer: untrusted
+// sources, validator cleansing, the Unmarshal pointer-fill pattern,
+// range propagation, the validator-returns-error rule, and the
+// cross-package naming convention.
+package wiretaint
+
+import "encoding/json"
+
+// payload is a decoded wire message.
+type payload struct {
+	N int `json:"n"`
+}
+
+// store is a stand-in cache with a commit sink.
+type store struct{ total int }
+
+// Commit trusts its argument — the sink under test.
+func (s *store) Commit(n int) { s.total += n }
+
+// Validate is the blessed path from wire bytes to a trusted count.
+//
+//ioslint:validator
+func Validate(raw []byte) (int, error) {
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return 0, err
+	}
+	return p.N, nil
+}
+
+// Merge looks like a validator to cross-package callers but carries no
+// directive, so the naming convention flags it.
+func Merge(rows []int) int { // want `exported Merge is treated as a wire validator by cross-package convention`
+	sum := 0
+	for _, r := range rows {
+		sum += r
+	}
+	return sum
+}
+
+// lax is annotated as a validator but cannot reject its input.
+type lax struct{}
+
+//ioslint:validator
+func (lax) Validate(raw []byte) int { return len(raw) } // want `validator Validate returns no error`
+
+// commitRaw commits wire data that never passed a validator.
+func commitRaw(s *store, raw []byte) {
+	var p payload
+	json.Unmarshal(raw, &p) //ioslint:untrusted wire bytes fill p
+	s.Commit(p.N) // want `wire-tainted value reaches Commit without validation`
+}
+
+// commitRows shows taint flowing through a range over a decoded slice.
+func commitRows(s *store, raw []byte) {
+	var rows []payload
+	json.Unmarshal(raw, &rows) //ioslint:untrusted wire rows
+	for _, r := range rows {
+		s.Commit(r.N) // want `wire-tainted value reaches Commit without validation`
+	}
+}
+
+// fetchCommit cleanses the fetched bytes through Validate before the
+// sink — no finding.
+func fetchCommit(s *store, fetch func() []byte) {
+	//ioslint:untrusted peer bytes
+	raw := fetch()
+
+	n, err := Validate(raw)
+	if err != nil {
+		return
+	}
+	s.Commit(n)
+}
+
+// trustedCommit never touches wire data — no finding.
+func trustedCommit(s *store) {
+	s.Commit(42)
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ios/internal/lint"
+	"ios/internal/lint/linttest"
+)
+
+func TestWireTaint(t *testing.T) {
+	linttest.Run(t, lint.WireTaint, filepath.Join("testdata", "src", "wiretaint"))
+}

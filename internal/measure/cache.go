@@ -173,6 +173,8 @@ func (c *Cache) trimShardLocked(sh *cacheShard) {
 //
 // The key may point into a reusable scratch buffer: the cache copies it
 // on insertion and never retains the caller's slice.
+//
+//ioslint:lockorder-allow entry.mu the claim deliberately holds its freshly created entry lock across the fetch hook — that IS the singleflight: waiters block on entry.mu instead of re-measuring, and Commit/Abandon release it
 func (c *Cache) GetOrBegin(key []byte) (float64, *Claim) {
 	sh := &c.shards[shardOf(key)]
 	for {
@@ -184,6 +186,7 @@ func (c *Cache) GetOrBegin(key []byte) (float64, *Claim) {
 			// Lock the entry before it becomes visible: any goroutine
 			// that finds it will block on mu until Commit publishes the
 			// latency (or Abandon sends it back around this loop).
+			//lint:ioslint-ignore lockorder the entry lock is taken before the entry is visible in the shard map, so no goroutine can block on entry.mu while holding a shard mutex; Commit's entry-then-shard order is therefore acyclic in practice
 			e.mu.Lock()
 			c.trimShardLocked(sh)
 			sh.m[ks] = e

@@ -37,6 +37,8 @@ type WireEntry struct {
 // Decode validates a wire entry and returns its raw fingerprint and
 // latency. It rejects malformed base64, keys built by an incompatible
 // fingerprint-encoding version, and non-finite or negative latencies.
+//
+//ioslint:validator
 func (we WireEntry) Decode() ([]byte, float64, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(we.Key)
 	if err != nil {
@@ -116,6 +118,8 @@ func (c *Cache) Export(keys [][]byte) []WireEntry {
 // Merge is all-or-nothing: every entry is validated before a single one
 // is inserted, so a corrupt batch leaves the cache exactly as it was.
 // Added entries count toward Stats.Loaded.
+//
+//ioslint:validator
 func (c *Cache) Merge(entries []WireEntry) (int, error) {
 	keys := make([]string, len(entries))
 	lats := make([]float64, len(entries))
@@ -155,7 +159,7 @@ func (c *Cache) Save(w io.Writer) error {
 // file returns an error and leaves the cache exactly as it was — callers
 // fall back to a cold cache instead of half-poisoned state.
 func (c *Cache) Load(r io.Reader) (int, error) {
-	data, err := io.ReadAll(r)
+	data, err := io.ReadAll(r) //ioslint:untrusted persisted cache file bytes
 	if err != nil {
 		return 0, fmt.Errorf("measure: read cache: %w", err)
 	}

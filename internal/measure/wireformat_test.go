@@ -1,0 +1,64 @@
+// Wire-format pinning tests: WireEntry is the unit of both the
+// persisted cache file and cluster peer exchange, so its field set, its
+// JSON tags, the file's version stamp, and the key's leading version
+// byte are all pinned as data. Widening the wire format without moving
+// a version fails here with instructions instead of silently shipping
+// records old peers misread.
+package measure_test
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ios/internal/measure"
+)
+
+// wireEntryV1Fields pins WireEntry's exact (field, json tag) pairs in
+// declaration order for the current format.
+var wireEntryV1Fields = [][2]string{
+	{"Key", "key"},
+	{"Latency", "latency"},
+}
+
+func TestWireEntryFieldSetPinned(t *testing.T) {
+	typ := reflect.TypeOf(measure.WireEntry{})
+	if typ.NumField() != len(wireEntryV1Fields) {
+		t.Fatalf("measure.WireEntry has %d fields, want %d: changing the wire field set changes what every peer and cache file exchange means — bump the persisted-file version (and KeyVersion if key semantics moved), then re-pin this test", typ.NumField(), len(wireEntryV1Fields))
+	}
+	for i, want := range wireEntryV1Fields {
+		f := typ.Field(i)
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if f.Name != want[0] || tag != want[1] {
+			t.Errorf("WireEntry field %d = %s (json %q), want %s (json %q)", i, f.Name, tag, want[0], want[1])
+		}
+	}
+}
+
+func TestWireFileVersionPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := measure.NewCache().Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var file struct {
+		Version int               `json:"version"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("cache file is not JSON: %v\n%s", err, buf.String())
+	}
+	if file.Version != 1 {
+		t.Fatalf("persisted cache file version = %d, want 1: a format change must re-pin this test so old files are rejected loudly", file.Version)
+	}
+}
+
+func TestWireEntryDecodeRejectsForeignVersionByte(t *testing.T) {
+	key := append([]byte{measure.KeyVersion + 1}, "payload"...)
+	we := measure.WireEntry{Key: base64.RawURLEncoding.EncodeToString(key), Latency: 1}
+	if _, _, err := we.Decode(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("Decode of a foreign version byte: err = %v, want key-version mismatch", err)
+	}
+}

@@ -1021,6 +1021,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"models":    atomic.LoadInt64(&s.modelsReqs),
 			"stats":     atomic.LoadInt64(&s.statsReqs),
 			"plans":     atomic.LoadInt64(&s.plansReqs),
+			"infer":     atomic.LoadInt64(&s.inferReqs),
 			"cancelled": atomic.LoadInt64(&s.cancelledReqs),
 			"healthz":   atomic.LoadInt64(&s.healthzReqs),
 		},
